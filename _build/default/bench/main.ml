@@ -1,0 +1,179 @@
+(* Benchmark harness (Bechamel).
+
+   Two families, per DESIGN.md Section 4:
+
+   - experiment regeneration: one Test per experiment E1..E10 wrapping
+     the Quick-size runner (the full tables themselves are printed by
+     `dune exec bin/experiments.exe`; here we time the regeneration,
+     proving each is a push-button artefact);
+   - throughput microbenchmarks: requests/second for every policy at
+     two cache sizes, the fast-vs-reference ALG-DISCRETE comparison
+     (DESIGN decision 2), the dual-solver iteration cost, and core data
+     structure operations.
+
+   Output: one line per benchmark with the OLS estimate of
+   nanoseconds/run and derived requests/second where meaningful. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (built once, outside the timed thunks)              *)
+(* ------------------------------------------------------------------ *)
+
+module Cf = Ccache_cost.Cost_function
+module W = Ccache_trace.Workloads
+module Engine = Ccache_sim.Engine
+
+let trace_len = 20_000
+let tenants = 5
+
+let fixture_trace = W.generate ~seed:99 ~length:trace_len (W.sqlvm_mix ~scale:2)
+
+let fixture_costs =
+  Array.init tenants (fun i ->
+      match i mod 3 with
+      | 0 -> Cf.monomial ~beta:2.0 ()
+      | 1 -> Cf.linear ~slope:2.0 ()
+      | _ -> Ccache_cost.Sla.hinge ~tolerance:100.0 ~penalty_rate:4.0)
+
+let fixture_index = Ccache_trace.Trace.Index.build fixture_trace
+
+let run_policy ~k policy () =
+  ignore
+    (Engine.run ~index:fixture_index ~k ~costs:fixture_costs policy fixture_trace)
+
+(* ------------------------------------------------------------------ *)
+(* Tests                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_tests =
+  let quick (e : Ccache_analysis.Experiment.t) =
+    Test.make ~name:e.Ccache_analysis.Experiment.id
+      (Staged.stage (fun () ->
+           ignore (e.Ccache_analysis.Experiment.run Ccache_analysis.Experiment.Quick)))
+  in
+  Test.make_grouped ~name:"experiments"
+    (List.map quick Ccache_analysis.Suite.all)
+
+let policy_tests ~k =
+  let bench policy =
+    Test.make
+      ~name:(Ccache_sim.Policy.name policy)
+      (Staged.stage (run_policy ~k policy))
+  in
+  Test.make_grouped
+    ~name:(Printf.sprintf "policies_k%d" k)
+    (List.map bench
+       (Ccache_policies.Registry.all
+       @ [ Ccache_core.Alg_discrete.policy; Ccache_core.Alg_fast.policy ]))
+
+let fast_vs_ref_tests =
+  Test.make_grouped ~name:"alg_fast_vs_ref"
+    (List.concat_map
+       (fun k ->
+         [
+           Test.make
+             ~name:(Printf.sprintf "reference_k%d" k)
+             (Staged.stage (run_policy ~k Ccache_core.Alg_discrete.policy));
+           Test.make
+             ~name:(Printf.sprintf "fast_k%d" k)
+             (Staged.stage (run_policy ~k Ccache_core.Alg_fast.policy));
+         ])
+       [ 64; 512 ])
+
+let dual_solver_test =
+  (* small fixed program; measures cost per ascent iteration batch *)
+  let small_trace = W.generate ~seed:5 ~length:400 (W.sqlvm_mix ~scale:1) in
+  let costs = Array.init 5 (fun _ -> Cf.monomial ~beta:2.0 ()) in
+  let cp =
+    Ccache_cp.Formulation.of_trace ~flush:true ~k:16 ~cache_size:16 ~costs
+      small_trace
+  in
+  Test.make ~name:"dual_solver_20iters"
+    (Staged.stage (fun () ->
+         ignore
+           (Ccache_cp.Dual_solver.solve
+              ~options:
+                { Ccache_cp.Dual_solver.default_options with iterations = 20 }
+              cp)))
+
+let structure_tests =
+  let heap_ops () =
+    let h = Ccache_util.Indexed_heap.create () in
+    for i = 0 to 999 do
+      Ccache_util.Indexed_heap.add h ~key:i ~prio:(float_of_int ((i * 7919) mod 1000))
+    done;
+    for i = 0 to 999 do
+      Ccache_util.Indexed_heap.update h ~key:i ~prio:(float_of_int ((i * 104729) mod 1000))
+    done;
+    while not (Ccache_util.Indexed_heap.is_empty h) do
+      ignore (Ccache_util.Indexed_heap.pop h)
+    done
+  in
+  let dlist_ops () =
+    let l = Ccache_util.Dlist.create () in
+    let nodes = Array.init 1000 Ccache_util.Dlist.node in
+    Array.iter (Ccache_util.Dlist.push_front l) nodes;
+    Array.iter (Ccache_util.Dlist.move_to_front l) nodes;
+    Array.iter (Ccache_util.Dlist.remove l) nodes
+  in
+  Test.make_grouped ~name:"structures"
+    [
+      Test.make ~name:"indexed_heap_1k" (Staged.stage heap_ops);
+      Test.make ~name:"dlist_1k" (Staged.stage dlist_ops);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark test =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  Benchmark.all cfg Instance.[ monotonic_clock ] test
+
+let analyze results =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock results
+
+let report ~requests_per_run tbl =
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        (name, ns) :: acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "  %-42s (no estimate)\n" name
+      else begin
+        Printf.printf "  %-42s %12.0f ns/run" name ns;
+        (match requests_per_run with
+        | Some reqs when ns > 0.0 ->
+            Printf.printf "  %10.2f Mreq/s" (float_of_int reqs /. ns *. 1e3)
+        | _ -> ());
+        print_newline ()
+      end)
+    rows
+
+let run_group ?requests_per_run title test =
+  Printf.printf "== %s ==\n%!" title;
+  report ~requests_per_run (analyze (benchmark test));
+  print_newline ()
+
+let () =
+  Printf.printf
+    "convex-caching benchmark harness (trace: %d requests, %d tenants)\n\n"
+    trace_len tenants;
+  run_group "experiment regeneration (quick size, one run each)" experiment_tests;
+  run_group ~requests_per_run:trace_len "policy throughput, k=64" (policy_tests ~k:64);
+  run_group ~requests_per_run:trace_len "policy throughput, k=1024" (policy_tests ~k:1024);
+  run_group ~requests_per_run:trace_len "ALG-DISCRETE fast vs reference" fast_vs_ref_tests;
+  run_group "dual solver" (Test.make_grouped ~name:"dual" [ dual_solver_test ]);
+  run_group "data structures" structure_tests

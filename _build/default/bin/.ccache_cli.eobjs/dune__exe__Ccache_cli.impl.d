@@ -1,0 +1,1 @@
+bin/ccache_cli.ml: Arg Array Ccache_analysis Ccache_core Ccache_cost Ccache_policies Ccache_sim Ccache_trace Cmd Cmdliner Float Fmt List Stdlib Term

@@ -1,0 +1,1 @@
+bin/ccache_cli.mli:

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Ccache_analysis Cmd Cmdliner Fmt List String Term

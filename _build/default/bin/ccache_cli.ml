@@ -1,0 +1,162 @@
+(** Command-line simulator: run any policy on a generated or saved
+    trace and print per-user results.
+
+    Examples:
+      ccache_cli run --policy lru --workload sqlvm --length 5000 -k 64
+      ccache_cli run --policy alg-discrete --workload zipf --tenants 4 \
+          --cost x2 -k 32 --flush
+      ccache_cli gen --workload zipf --length 1000 --out trace.txt
+      ccache_cli run --policy alg-discrete --trace trace.txt -k 16
+      ccache_cli list *)
+
+open Cmdliner
+module Cf = Ccache_cost.Cost_function
+module W = Ccache_trace.Workloads
+
+let policies () =
+  Ccache_policies.Registry.all
+  @ [
+      Ccache_core.Alg_discrete.policy;
+      Ccache_core.Alg_discrete.analytic;
+      Ccache_core.Alg_discrete.no_bump;
+      Ccache_core.Alg_discrete.no_subtract;
+      Ccache_core.Alg_fast.policy;
+    ]
+
+let find_policy name =
+  List.find_opt (fun p -> Ccache_sim.Policy.name p = name) (policies ())
+
+let make_workload ~workload ~tenants ~pages ~skew ~seed ~length =
+  match workload with
+  | "zipf" ->
+      W.generate ~seed ~length
+        (W.symmetric_zipf ~tenants ~pages_per_tenant:pages ~skew)
+  | "sqlvm" -> W.generate ~seed ~length (W.sqlvm_mix ~scale:(Stdlib.max 1 (pages / 50)))
+  | "cycle" -> W.generate_single ~seed ~length (W.Cycle { pages })
+  | "uniform" ->
+      W.generate ~seed ~length
+        (List.init tenants (fun _ -> W.tenant (W.Uniform { pages })))
+  | other -> Fmt.failwith "unknown workload %S (zipf|sqlvm|cycle|uniform)" other
+
+let make_costs ~cost n =
+  match cost with
+  | "linear" -> Array.init n (fun _ -> Cf.linear ~slope:1.0 ())
+  | "weighted" ->
+      Array.init n (fun i -> Cf.linear ~slope:(Float.pow 2.0 (float_of_int i)) ())
+  | "x2" -> Array.init n (fun _ -> Cf.monomial ~beta:2.0 ())
+  | "x3" -> Array.init n (fun _ -> Cf.monomial ~beta:3.0 ())
+  | "sla" ->
+      Array.init n (fun i ->
+          Ccache_cost.Sla.hinge
+            ~tolerance:(float_of_int (30 * (i + 1)))
+            ~penalty_rate:(float_of_int (n - i)))
+  | other -> Fmt.failwith "unknown cost %S (linear|weighted|x2|x3|sla)" other
+
+(* --- run command --- *)
+
+let run_cmd policy_name trace_file workload tenants pages skew seed length k cost
+    flush =
+  match find_policy policy_name with
+  | None ->
+      Fmt.epr "unknown policy %S; try the 'list' command@." policy_name;
+      2
+  | Some policy ->
+      let trace =
+        match trace_file with
+        | Some path -> Ccache_trace.Trace_io.read_file path
+        | None -> make_workload ~workload ~tenants ~pages ~skew ~seed ~length
+      in
+      let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
+      let result = Ccache_sim.Engine.run ~flush ~k ~costs policy trace in
+      Fmt.pr "%a@." (Ccache_sim.Metrics.pp_result ~costs) result;
+      0
+
+(* --- gen command --- *)
+
+let gen_cmd workload tenants pages skew seed length out =
+  let trace = make_workload ~workload ~tenants ~pages ~skew ~seed ~length in
+  (match out with
+  | Some path ->
+      Ccache_trace.Trace_io.write_file path trace;
+      Fmt.pr "wrote %d requests to %s@." (Ccache_trace.Trace.length trace) path
+  | None -> print_string (Ccache_trace.Trace_io.to_string trace));
+  0
+
+(* --- certify command --- *)
+
+let certify_cmd trace_file workload tenants pages skew seed length k cost iters =
+  let trace =
+    match trace_file with
+    | Some path -> Ccache_trace.Trace_io.read_file path
+    | None -> make_workload ~workload ~tenants ~pages ~skew ~seed ~length
+  in
+  let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
+  let c =
+    Ccache_analysis.Certificate.certify ~ascent_iterations:iters ~k ~costs trace
+  in
+  Fmt.pr "%a@." Ccache_analysis.Certificate.pp c;
+  Fmt.pr
+    "certified: on this instance ALG-DISCRETE pays at most %.3f times any \
+     offline schedule (weak duality on (CP))@."
+    c.Ccache_analysis.Certificate.certified_ratio;
+  0
+
+(* --- list command --- *)
+
+let list_cmd () =
+  Fmt.pr "policies:@.";
+  List.iter (fun p -> Fmt.pr "  %s@." (Ccache_sim.Policy.name p)) (policies ());
+  Fmt.pr "workloads: zipf sqlvm cycle uniform@.";
+  Fmt.pr "costs: linear weighted x2 x3 sla@.";
+  0
+
+(* --- cmdliner plumbing --- *)
+
+let policy_arg =
+  Arg.(value & opt string "alg-discrete" & info [ "policy" ] ~docv:"NAME")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE")
+
+let workload_arg = Arg.(value & opt string "zipf" & info [ "workload" ])
+let tenants_arg = Arg.(value & opt int 4 & info [ "tenants" ])
+let pages_arg = Arg.(value & opt int 64 & info [ "pages" ])
+let skew_arg = Arg.(value & opt float 0.8 & info [ "skew" ])
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ])
+let length_arg = Arg.(value & opt int 5000 & info [ "length" ])
+let k_arg = Arg.(value & opt int 64 & info [ "k"; "cache-size" ])
+let cost_arg = Arg.(value & opt string "x2" & info [ "cost" ])
+let flush_arg = Arg.(value & flag & info [ "flush" ])
+let out_arg = Arg.(value & opt (some string) None & info [ "out" ])
+let iters_arg = Arg.(value & opt int 80 & info [ "iterations" ])
+
+let run_term =
+  Term.(
+    const run_cmd $ policy_arg $ trace_arg $ workload_arg $ tenants_arg
+    $ pages_arg $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ flush_arg)
+
+let certify_term =
+  Term.(
+    const certify_cmd $ trace_arg $ workload_arg $ tenants_arg $ pages_arg
+    $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ iters_arg)
+
+let gen_term =
+  Term.(
+    const gen_cmd $ workload_arg $ tenants_arg $ pages_arg $ skew_arg $ seed_arg
+    $ length_arg $ out_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "ccache_cli" ~doc:"Convex-cost caching simulator")
+    [
+      Cmd.v (Cmd.info "run" ~doc:"Run a policy on a trace") run_term;
+      Cmd.v (Cmd.info "gen" ~doc:"Generate a trace file") gen_term;
+      Cmd.v
+        (Cmd.info "certify"
+           ~doc:"Run ALG-DISCRETE and certify its per-instance ratio")
+        certify_term;
+      Cmd.v (Cmd.info "list" ~doc:"List policies, workloads, costs")
+        Term.(const list_cmd $ const ());
+    ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,46 @@
+(** Regenerate the experiment tables (DESIGN.md Section 4 /
+    EXPERIMENTS.md).
+
+    Usage:
+      experiments [--full] [--markdown] [ID ...]
+
+    With no IDs, runs the whole suite in DESIGN.md order. *)
+
+open Cmdliner
+module A = Ccache_analysis
+
+let run full markdown ids =
+  let size = if full then A.Experiment.Full else A.Experiment.Quick in
+  let fmt = if markdown then A.Report.Markdown else A.Report.Text in
+  let specs =
+    match ids with
+    | [] -> A.Suite.all
+    | ids ->
+        List.map
+          (fun id ->
+            match A.Suite.find (String.lowercase_ascii id) with
+            | Some s -> s
+            | None ->
+                Fmt.epr "unknown experiment %S; known: %s@." id
+                  (String.concat ", " A.Suite.ids);
+                exit 2)
+          ids
+  in
+  print_string (A.Report.run_suite ~fmt ~size specs);
+  0
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Full-size runs (EXPERIMENTS.md scale).")
+
+let markdown =
+  Arg.(value & flag & info [ "markdown" ] ~doc:"Emit markdown tables.")
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the convex-caching experiment suite")
+    Term.(const run $ full $ markdown $ ids)
+
+let () = exit (Cmd.eval' cmd)

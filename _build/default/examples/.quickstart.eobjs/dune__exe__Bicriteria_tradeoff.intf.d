@@ -1,0 +1,1 @@
+examples/bicriteria_tradeoff.mli:

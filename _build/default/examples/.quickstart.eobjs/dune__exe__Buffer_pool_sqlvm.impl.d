@@ -1,0 +1,1 @@
+examples/buffer_pool_sqlvm.ml: Ccache_core Ccache_cost Ccache_multipool Ccache_sim Ccache_trace Ccache_util Filename List Printf Sys

@@ -1,0 +1,1 @@
+examples/multi_tenant_sla.ml: Array Ccache_core Ccache_cost Ccache_policies Ccache_sim Ccache_trace Ccache_util List Printf

@@ -1,0 +1,1 @@
+lib/analysis/certificate.ml: Array Ccache_core Ccache_cost Ccache_cp Float Fmt List

@@ -1,0 +1,1 @@
+lib/analysis/certificate.mli: Ccache_cost Ccache_trace Format

@@ -1,0 +1,1 @@
+lib/analysis/competitive.ml: Array Ccache_cost Fmt Option

@@ -1,0 +1,1 @@
+lib/analysis/competitive.mli: Ccache_cost Format

@@ -1,0 +1,1 @@
+lib/analysis/exp_ablations.ml: Ccache_core Ccache_sim Ccache_util Experiment List Printf Scenarios

@@ -1,0 +1,1 @@
+lib/analysis/exp_certificates.ml: Ccache_core Ccache_offline Ccache_sim Ccache_util Certificate Experiment List Printf Scenarios

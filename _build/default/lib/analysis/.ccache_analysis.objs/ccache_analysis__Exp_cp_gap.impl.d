@@ -1,0 +1,1 @@
+lib/analysis/exp_cp_gap.ml: Array Ccache_cost Ccache_cp Ccache_offline Ccache_trace Ccache_util Experiment List Printf Scenarios

@@ -1,0 +1,1 @@
+lib/analysis/exp_cp_gap.mli: Experiment

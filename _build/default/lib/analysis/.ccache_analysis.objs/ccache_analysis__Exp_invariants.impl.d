@@ -1,0 +1,1 @@
+lib/analysis/exp_invariants.ml: Array Ccache_core Ccache_cost Ccache_trace Ccache_util Experiment List Printf Scenarios

@@ -1,0 +1,1 @@
+lib/analysis/exp_linear.ml: Ccache_core Ccache_offline Ccache_policies Ccache_sim Ccache_trace Ccache_util Experiment List Printf Scenarios

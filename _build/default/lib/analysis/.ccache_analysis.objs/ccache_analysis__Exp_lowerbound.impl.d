@@ -1,0 +1,1 @@
+lib/analysis/exp_lowerbound.ml: Ccache_core Ccache_lb Ccache_policies Ccache_util Experiment List

@@ -1,0 +1,1 @@
+lib/analysis/exp_monomial.ml: Ccache_core Ccache_cp Ccache_offline Ccache_sim Ccache_util Competitive Experiment Fmt List Printf Scenarios

@@ -1,0 +1,1 @@
+lib/analysis/exp_multipool.ml: Array Ccache_core Ccache_multipool Ccache_sim Ccache_util Experiment List Printf Scenarios

@@ -1,0 +1,1 @@
+lib/analysis/exp_sla.ml: Ccache_core Ccache_policies Ccache_sim Ccache_util Experiment List Printf Scenarios

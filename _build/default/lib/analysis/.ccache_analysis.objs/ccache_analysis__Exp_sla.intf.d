@@ -1,0 +1,1 @@
+lib/analysis/exp_sla.mli: Experiment

@@ -1,0 +1,1 @@
+lib/analysis/exp_thm11.ml: Ccache_core Ccache_offline Ccache_sim Ccache_util Experiment List Printf Scenarios

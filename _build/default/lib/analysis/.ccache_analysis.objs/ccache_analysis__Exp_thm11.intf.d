@@ -1,0 +1,1 @@
+lib/analysis/exp_thm11.mli: Experiment

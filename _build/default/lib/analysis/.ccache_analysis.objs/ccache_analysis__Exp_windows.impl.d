@@ -1,0 +1,1 @@
+lib/analysis/exp_windows.ml: Array Ccache_core Ccache_cost Ccache_policies Ccache_sim Ccache_trace Ccache_util Experiment List Printf Stdlib

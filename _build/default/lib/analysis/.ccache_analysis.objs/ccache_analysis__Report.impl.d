@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Buffer Ccache_util Experiment List Printf String

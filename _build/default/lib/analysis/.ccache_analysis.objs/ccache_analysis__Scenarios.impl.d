@@ -1,0 +1,1 @@
+lib/analysis/scenarios.ml: Array Ccache_cost Ccache_trace Float List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/scenarios.mli: Ccache_cost Ccache_trace

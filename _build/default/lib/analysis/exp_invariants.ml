@@ -1,0 +1,98 @@
+(** E7 — the proof machinery itself: the algorithm maintains its
+    primal/dual invariants (Section 2.3) at every step, and Claim 2.3
+    holds on the realised eviction sequences.
+
+    Runs the dual-instrumented ALG-CONT over a grid of seeds and
+    workloads with the checker on, in both derivative modes, and
+    separately stress-tests Claim 2.3 on random convex functions and
+    random sequences. *)
+
+module Tbl = Ccache_util.Ascii_table
+module Inv = Ccache_core.Invariants
+module Theory = Ccache_core.Theory
+module Cf = Ccache_cost.Cost_function
+module Prng = Ccache_util.Prng
+
+let run size =
+  let seeds, length, claim_trials =
+    match size with
+    | Experiment.Quick -> ([ 1; 2; 3 ], 800, 200)
+    | Experiment.Full -> ([ 1; 2; 3; 4; 5; 6; 7; 8 ], 4000, 2000)
+  in
+  let table =
+    Tbl.create ~title:"E7: invariant checks on ALG-CONT runs (flushed)"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "workload"; "k"; "mode"; "steps"; "intervals"; "failures" ]
+  in
+  let total_failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let scenarios =
+        [
+          (Scenarios.zipf ~seed ~length ~tenants:3 ~pages:50 ~skew:0.9, 24);
+          (Scenarios.sqlvm ~seed:(seed + 100) ~length ~scale:1, 48);
+        ]
+      in
+      List.iter
+        (fun ((s : Scenarios.t), k) ->
+          List.iter
+            (fun mode ->
+              let _, report =
+                Inv.run_and_check ~mode ~flush:true ~k ~costs:s.Scenarios.costs
+                  s.Scenarios.trace
+              in
+              let fails = List.length report.Inv.failures in
+              total_failures := !total_failures + fails;
+              Tbl.add_row table
+                [
+                  s.Scenarios.name;
+                  Tbl.cell_int k;
+                  (match mode with Cf.Discrete -> "discrete" | Cf.Analytic -> "analytic");
+                  Tbl.cell_int (Ccache_trace.Trace.length s.Scenarios.trace);
+                  Tbl.cell_int report.Inv.checked_intervals;
+                  Tbl.cell_int fails;
+                ])
+            [ Cf.Discrete; Cf.Analytic ])
+        scenarios)
+    seeds;
+  (* Claim 2.3 stress test: random convex monomials/pw-linear and
+     random non-negative sequences. *)
+  let rng = Prng.create ~seed:777 in
+  let claim_failures = ref 0 in
+  for _ = 1 to claim_trials do
+    let f =
+      match Prng.int rng 3 with
+      | 0 -> Cf.monomial ~beta:(1.0 +. (3.0 *. Prng.float rng)) ()
+      | 1 -> Cf.linear ~slope:(0.5 +. Prng.float rng) ()
+      | _ ->
+          Ccache_cost.Sla.hinge
+            ~tolerance:(float_of_int (Prng.int rng 20))
+            ~penalty_rate:(1.0 +. (4.0 *. Prng.float rng))
+    in
+    let n = 1 + Prng.int rng 30 in
+    let xs = Array.init n (fun _ -> Prng.float rng *. 5.0) in
+    if not (Theory.claim23_holds f xs) then incr claim_failures;
+    if not (Theory.claim23_inner_holds f xs) then incr claim_failures
+  done;
+  let claim_table =
+    Tbl.create ~title:"E7b: Claim 2.3 random stress test"
+      ~aligns:[ Tbl.Left; Tbl.Right ]
+      [ "check"; "count" ]
+  in
+  Tbl.add_row claim_table [ "trials"; Tbl.cell_int claim_trials ];
+  Tbl.add_row claim_table [ "failures"; Tbl.cell_int !claim_failures ];
+  Experiment.output ~id:"e7" ~title:"Invariants and Claim 2.3"
+    ~notes:
+      [
+        Printf.sprintf "invariant failures: %d (proof requires 0)" !total_failures;
+        Printf.sprintf "Claim 2.3 failures: %d / %d trials" !claim_failures claim_trials;
+      ]
+    [ table; claim_table ]
+
+let spec =
+  {
+    Experiment.id = "e7";
+    title = "Invariants and Claim 2.3";
+    claim = "Lemma 2.1 invariants (1a)-(3a), (2a)-(2b); Claim 2.3";
+    run;
+  }

@@ -1,0 +1,131 @@
+(** E14 — windowed SLAs: the paper's motivating phrasing ("M misses in
+    a time window of T") priced literally.
+
+    Each policy is run once and priced under (a) the cumulative
+    objective sum_i f_i(total misses_i) and (b) the windowed objective
+    sum over windows of sum_i f_i(misses in window).  The window-reset
+    variant of the paper's algorithm joins the lineup.
+
+    Measured outcome (an honest negative mirroring E13): resetting
+    does NOT pay even on the windowed objective, because each reset
+    re-enters the hinge's zero-marginal region — the algorithm then
+    evicts the protected tenants' hot pages "for free" at every window
+    start, blowing exactly the cliffs it was meant to track.  The
+    cumulative variant never revisits the zero region, which
+    accidentally regularises its marginals.  Low-marginal myopia, not
+    window alignment, is the binding constraint. *)
+
+module Tbl = Ccache_util.Ascii_table
+module Engine = Ccache_sim.Engine
+module Windows = Ccache_sim.Windows
+module Cf = Ccache_cost.Cost_function
+
+let run size =
+  let length, k, window =
+    match size with
+    | Experiment.Quick -> (3000, 32, 500)
+    | Experiment.Full -> (12000, 48, 1000)
+  in
+  let trace =
+    Ccache_trace.Workloads.generate ~seed:141 ~length
+      [
+        Ccache_trace.Workloads.tenant ~weight:2.0
+          (Ccache_trace.Workloads.Zipf { pages = 60; skew = 0.9 });
+        Ccache_trace.Workloads.tenant
+          (Ccache_trace.Workloads.Hot_cold
+             { pages = 60; hot_pages = 8; hot_prob = 0.8 });
+        Ccache_trace.Workloads.tenant
+          (Ccache_trace.Workloads.Zipf { pages = 50; skew = 0.6 });
+      ]
+  in
+  (* per-window hinge: tolerance ~what a fair slice of the cache can
+     hold a tenant to within one window, so cliffs are live each
+     window; quadratic tail keeps marginals informative past it *)
+  let costs =
+    [|
+      Cf.sum
+        (Ccache_cost.Sla.hinge ~tolerance:(float_of_int (window / 10)) ~penalty_rate:6.0)
+        (Cf.scale ~by:0.01 (Cf.monomial ~beta:2.0 ()));
+      Cf.sum
+        (Ccache_cost.Sla.hinge ~tolerance:(float_of_int (window / 16)) ~penalty_rate:3.0)
+        (Cf.scale ~by:0.01 (Cf.monomial ~beta:2.0 ()));
+      Cf.linear ~slope:0.5 ();
+    |]
+  in
+  let policies =
+    [
+      Ccache_core.Alg_discrete.policy;
+      Ccache_core.Alg_windowed.make ~window ();
+      Ccache_policies.Lru.policy;
+      Ccache_policies.Lfu.policy;
+      Ccache_policies.Arc.policy;
+      Ccache_policies.Landlord.adaptive;
+    ]
+  in
+  let table =
+    Tbl.create
+      ~title:
+        (Printf.sprintf "E14: cumulative vs windowed objective (k=%d, window=%d)"
+           k window)
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "policy"; "misses"; "cumulative cost"; "windowed cost"; "worst breaches" ]
+  in
+  let rows =
+    List.map
+      (fun policy ->
+        let result, w = Windows.run_windowed ~window ~k ~costs policy trace in
+        let cumulative = Ccache_sim.Metrics.total_cost ~costs result in
+        let windowed = Windows.cost ~costs w in
+        let breaches =
+          List.init (Array.length costs) (fun u ->
+              Windows.breaches w ~user:u ~threshold:(window / 10))
+          |> List.fold_left Stdlib.max 0
+        in
+        (result.Engine.policy, Engine.misses result, cumulative, windowed, breaches))
+      policies
+  in
+  let sorted = List.sort (fun (_, _, _, a, _) (_, _, _, b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, misses, cum, win, br) ->
+      Tbl.add_row table
+        [
+          name;
+          Tbl.cell_int misses;
+          Tbl.cell_float ~digits:6 cum;
+          Tbl.cell_float ~digits:6 win;
+          Tbl.cell_int br;
+        ])
+    sorted;
+  let windowed_of name =
+    List.find_map
+      (fun (n, _, _, w, _) -> if n = name then Some w else None)
+      rows
+  in
+  let plain = windowed_of "alg-discrete"
+  and reset = windowed_of (Printf.sprintf "alg-discrete[w=%d]" window) in
+  let reset_wins =
+    match (plain, reset) with Some p, Some r -> r <= p | _ -> false
+  in
+  Experiment.output ~id:"e14" ~title:"Windowed SLAs"
+    ~notes:
+      [
+        Printf.sprintf
+          "window-reset variant beats plain ALG-DISCRETE on the windowed \
+           objective: %b (expected false — see the module comment)"
+          reset_wins;
+        "honest negative: each reset re-enters the hinge's zero-marginal \
+         region and the algorithm evicts protected tenants' hot pages for \
+         free at every window start — the same myopia as E13; cumulative \
+         marginals never return to zero, which accidentally regularises \
+         them.  Plain ALG-DISCRETE stays the best policy under BOTH \
+         accountings here";
+      ]
+    [ table ]
+
+let spec =
+  {
+    Experiment.id = "e14";
+    title = "Windowed SLAs";
+    claim = "the motivation's 'M misses in a window of T', priced literally";
+    run;
+  }

@@ -1,0 +1,30 @@
+(** Experiment descriptors (see DESIGN.md Section 4).  [Quick] sizes
+    keep the full suite test-friendly; [Full] sizes are what
+    EXPERIMENTS.md records. *)
+
+type size = Quick | Full
+
+type output = {
+  id : string;
+  title : string;
+  tables : Ccache_util.Ascii_table.t list;
+  notes : string list;  (** one-line prose conclusions *)
+}
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;  (** which paper statement this exercises *)
+  run : size -> output;
+}
+
+val output :
+  id:string ->
+  title:string ->
+  ?notes:string list ->
+  Ccache_util.Ascii_table.t list ->
+  output
+
+val register : t -> unit
+val all : unit -> t list
+val find : string -> t option

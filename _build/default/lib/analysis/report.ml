@@ -1,0 +1,33 @@
+(** Rendering experiment outputs as text or markdown (for
+    EXPERIMENTS.md regeneration). *)
+
+module Tbl = Ccache_util.Ascii_table
+
+type format = Text | Markdown
+
+let render_output fmt (o : Experiment.output) =
+  let buf = Buffer.create 1024 in
+  (match fmt with
+  | Text ->
+      Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" (String.uppercase_ascii o.Experiment.id) o.Experiment.title)
+  | Markdown ->
+      Buffer.add_string buf (Printf.sprintf "## %s — %s\n\n" (String.uppercase_ascii o.Experiment.id) o.Experiment.title));
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (match fmt with Text -> Tbl.to_string t | Markdown -> Tbl.to_markdown t);
+      Buffer.add_char buf '\n')
+    o.Experiment.tables;
+  List.iter
+    (fun note ->
+      Buffer.add_string buf
+        (match fmt with Text -> "note: " ^ note ^ "\n" | Markdown -> "- " ^ note ^ "\n"))
+    o.Experiment.notes;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let run_and_render ?(fmt = Text) ~size (e : Experiment.t) =
+  render_output fmt (e.Experiment.run size)
+
+let run_suite ?(fmt = Text) ~size specs =
+  String.concat "" (List.map (run_and_render ~fmt ~size) specs)

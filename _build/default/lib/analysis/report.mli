@@ -1,0 +1,8 @@
+(** Rendering experiment outputs as text or markdown (EXPERIMENTS.md
+    regeneration). *)
+
+type format = Text | Markdown
+
+val render_output : format -> Experiment.output -> string
+val run_and_render : ?fmt:format -> size:Experiment.size -> Experiment.t -> string
+val run_suite : ?fmt:format -> size:Experiment.size -> Experiment.t list -> string

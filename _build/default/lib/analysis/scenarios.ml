@@ -1,0 +1,96 @@
+(** Shared workload + cost-function scenarios used across experiments.
+
+    Centralising them keeps experiment tables comparable: E1/E5/E9 all
+    talk about "the SQLVM mix" and mean the same generator and seeds. *)
+
+module Cf = Ccache_cost.Cost_function
+module W = Ccache_trace.Workloads
+
+type t = {
+  name : string;
+  trace : Ccache_trace.Trace.t;
+  costs : Cf.t array;
+}
+
+let make ~name ~seed ~length ~specs ~costs =
+  let trace = W.generate ~seed ~length specs in
+  if Array.length costs <> List.length specs then
+    invalid_arg "Scenarios.make: costs/specs mismatch";
+  { name; trace; costs }
+
+(** Mixed convex costs: cycles through x^2, linear(2), hinge SLA. *)
+let mixed_costs n =
+  Array.init n (fun i ->
+      match i mod 3 with
+      | 0 -> Cf.monomial ~beta:2.0 ()
+      | 1 -> Cf.linear ~slope:2.0 ()
+      | _ -> Ccache_cost.Sla.hinge ~tolerance:50.0 ~penalty_rate:4.0)
+
+(** Uniform monomial costs x^beta for every user. *)
+let monomial_costs ~beta n = Array.init n (fun _ -> Cf.monomial ~beta ())
+
+(** Distinct linear weights 1, 2, 4, ... (weighted caching). *)
+let weighted_costs n =
+  Array.init n (fun i -> Cf.linear ~slope:(Float.pow 2.0 (float_of_int i)) ())
+
+(** n symmetric Zipf tenants. *)
+let zipf ~seed ~length ~tenants ~pages ~skew =
+  let specs = W.symmetric_zipf ~tenants ~pages_per_tenant:pages ~skew in
+  make ~name:(Printf.sprintf "zipf(n=%d,p=%d,s=%g)" tenants pages skew)
+    ~seed ~length ~specs ~costs:(mixed_costs tenants)
+
+(** The SQLVM-style 5-tenant mix with SLA refund curves. *)
+let sqlvm ~seed ~length ~scale =
+  let specs = W.sqlvm_mix ~scale in
+  let costs =
+    [|
+      Ccache_cost.Sla.hinge ~tolerance:100.0 ~penalty_rate:5.0;
+      Ccache_cost.Sla.tiered ~thresholds:[ 50.0; 150.0 ] ~base_rate:1.0
+        ~escalation:3.0;
+      Cf.linear ~slope:0.5 ();
+      Cf.monomial ~beta:2.0 ();
+      Ccache_cost.Sla.hinge ~tolerance:30.0 ~penalty_rate:8.0;
+    |]
+  in
+  make ~name:(Printf.sprintf "sqlvm(scale=%d)" scale) ~seed ~length ~specs ~costs
+
+(** Diurnal tenant churn: 4 tenants, half going quiet every other
+    phase (generator-level churn, DESIGN substitution table row 3). *)
+let churn ~seed ~length =
+  let day =
+    [
+      W.tenant ~weight:2.0 (W.Zipf { pages = 50; skew = 0.9 });
+      W.tenant ~weight:1.5 (W.Zipf { pages = 40; skew = 0.7 });
+      W.tenant ~weight:1.0 (W.Hot_cold { pages = 40; hot_pages = 6; hot_prob = 0.85 });
+      W.tenant ~weight:1.0 (W.Sequential_scan { pages = 60; passes = 2 });
+    ]
+  in
+  let cycles = Stdlib.max 1 (length / 1000) in
+  let phase_length = Stdlib.max 1 (length / (2 * cycles)) in
+  let phases = W.day_night ~day ~night_tenants:2 ~phase_length ~cycles in
+  {
+    name = Printf.sprintf "churn(cycles=%d)" cycles;
+    trace = W.generate_phases ~seed phases;
+    costs = mixed_costs 4;
+  }
+
+(** Small two-tenant scenario with monomial costs, for k/beta sweeps. *)
+let two_tenant_monomial ~seed ~length ~beta ~pages =
+  let specs =
+    [
+      W.tenant ~weight:2.0 (W.Zipf { pages; skew = 0.8 });
+      W.tenant ~weight:1.0 (W.Hot_cold { pages; hot_pages = Stdlib.max 1 (pages / 8); hot_prob = 0.8 });
+    ]
+  in
+  make ~name:(Printf.sprintf "2tenant(beta=%g)" beta) ~seed ~length ~specs
+    ~costs:(monomial_costs ~beta 2)
+
+(** Tiny deterministic scenario for exact-DP experiments: [tenants]
+    users, few pages, short trace. *)
+let tiny ~seed ~tenants ~pages_per_tenant ~length =
+  let specs =
+    List.init tenants (fun _ -> W.tenant (W.Uniform { pages = pages_per_tenant }))
+  in
+  make ~name:(Printf.sprintf "tiny(n=%d,p=%d,T=%d)" tenants pages_per_tenant length)
+    ~seed ~length ~specs
+    ~costs:(monomial_costs ~beta:2.0 tenants)

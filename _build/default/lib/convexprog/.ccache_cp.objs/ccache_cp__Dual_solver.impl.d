@@ -1,0 +1,1 @@
+lib/convexprog/dual_solver.ml: Array Ccache_cost Float Formulation Lagrangian List Option Printf

@@ -1,0 +1,1 @@
+lib/convexprog/dual_solver.mli: Ccache_cost Ccache_trace Formulation

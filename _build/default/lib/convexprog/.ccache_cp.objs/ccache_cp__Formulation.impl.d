@@ -1,0 +1,1 @@
+lib/convexprog/formulation.ml: Array Ccache_cost Ccache_trace Hashtbl Int List Option Page Trace

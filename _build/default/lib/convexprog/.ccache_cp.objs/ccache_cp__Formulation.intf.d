@@ -1,0 +1,1 @@
+lib/convexprog/formulation.mli: Ccache_cost Ccache_trace Page Trace

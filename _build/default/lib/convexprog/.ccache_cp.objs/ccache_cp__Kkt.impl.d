@@ -1,0 +1,1 @@
+lib/convexprog/kkt.ml: Array Ccache_cost Float Fmt Formulation List

@@ -1,0 +1,1 @@
+lib/convexprog/kkt.mli: Format Formulation

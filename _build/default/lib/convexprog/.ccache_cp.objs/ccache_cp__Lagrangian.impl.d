@@ -1,0 +1,1 @@
+lib/convexprog/lagrangian.ml: Array Ccache_cost Float Formulation List

@@ -1,0 +1,1 @@
+lib/convexprog/lagrangian.mli: Ccache_cost Formulation

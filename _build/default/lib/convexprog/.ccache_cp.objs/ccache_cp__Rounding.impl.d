@@ -1,0 +1,1 @@
+lib/convexprog/rounding.ml: Array Ccache_cost Ccache_trace Formulation Page Stdlib Trace

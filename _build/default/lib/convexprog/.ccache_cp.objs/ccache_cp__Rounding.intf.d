@@ -1,0 +1,1 @@
+lib/convexprog/rounding.mli: Formulation

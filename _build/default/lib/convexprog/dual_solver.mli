@@ -1,0 +1,36 @@
+(** Projected supergradient ascent on the Lagrangian dual of (CP):
+    certified lower bounds on the offline optimum.
+
+    Soundness never depends on ascent quality — every iterate's dual
+    value is a valid bound by weak duality and the best one is kept.
+    Three step schedules are tried (gradient-normalised, raw
+    diminishing, and raw scaled to the costs' natural magnitude)
+    because no single scale suits every curvature. *)
+
+type options = {
+  iterations : int;  (** per ascent schedule *)
+  initial_step : float;
+  verbose : bool;
+}
+
+val default_options : options
+(** 200 iterations, unit step, quiet. *)
+
+type outcome = {
+  bound : float;  (** best dual value: certified lower bound, >= 0 *)
+  best_y : float array;
+  iterations_run : int;
+  history : float list;  (** winning schedule's values, oldest first *)
+}
+
+val solve : ?options:options -> Formulation.t -> outcome
+
+val lower_bound :
+  ?options:options ->
+  ?cache_size:int ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  Ccache_trace.Trace.t ->
+  float
+(** Build the flushed formulation and solve.  [cache_size] defaults to
+    [k]; pass [h] for the bi-criteria program (CP-h). *)

@@ -1,0 +1,21 @@
+(** KKT residuals for a primal/dual pair of (CP) (paper Section 2.2):
+    quantifies distance from optimality.  Used on tiny instances where
+    the dual solver should drive residuals near zero, and by E8 to
+    report relaxation quality. *)
+
+type residuals = {
+  primal_infeasibility : float;
+  box_infeasibility : float;
+  dual_infeasibility : float;
+  stationarity : float;
+  complementarity : float;
+      (** max over v of [x_v * (f'(S_i) - c_v)^+] and
+          [(1 - x_v) * (c_v - f'(S_i))^+] *)
+  constraint_complementarity : float;  (** max y_t * slack_t *)
+}
+
+val worst : residuals -> float
+
+val compute : Formulation.t -> x:float array -> y:float array -> residuals
+
+val pp : Format.formatter -> residuals -> unit

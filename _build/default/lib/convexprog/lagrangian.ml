@@ -1,0 +1,143 @@
+(** Lagrangian dual of (CP) and its exact inner minimisation.
+
+    For multipliers y >= 0 on the covering constraints (the box
+    constraints are kept explicit), the dual function is
+
+      g(y) = min_{x in [0,1]^V}  sum_i f_i(S_i)  -  sum_v c_v x_v
+             +  sum_t y_t * rhs_t
+
+    with S_i the sum of user i's variables and
+    c_v = sum of y_t over the variable's span.  By weak duality
+    g(y) <= CP optimum <= ICP optimum <= offline OPT cost (on a flushed
+    trace), so any y yields a certified lower bound.
+
+    The inner problem separates by user.  For user i with dual masses
+    c_1 >= c_2 >= ... (sorted), putting total mass s on the variables
+    optimally fills the largest-c variables first, so
+
+      phi(s) = f_i(s) - C(s),   C(s) = concave pw-linear prefix of c
+
+    is convex in s; its exact minimum is found by walking the unit
+    segments of C: on segment (j-1, j) the derivative is
+    f_i'(s) - c_j, monotone in s, so the segment either ends the walk
+    (derivative already >= 0 at the left end), continues (still <= 0 at
+    the right end), or contains the stationary point, located by
+    bisection on the monotone f_i' (f' is only evaluated, never
+    inverted symbolically, so any convex cost works). *)
+
+module Cf = Ccache_cost.Cost_function
+
+type user_solution = {
+  total : float;  (** optimal S_i *)
+  value : float;  (** phi(S_i) = f_i(S_i) - C(S_i) *)
+  x : (int * float) list;  (** variable id -> optimal mass (only nonzero) *)
+}
+
+(* Bisection for f'(s) = target on [lo, hi]; f' non-decreasing. *)
+let solve_deriv f ~target ~lo ~hi =
+  let rec go lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if Cf.deriv f mid < target then go mid hi (iters - 1) else go lo mid (iters - 1)
+  in
+  go lo hi 60
+
+(** Minimise phi over [0, #vars] for one user.  [ids_and_costs] pairs
+    each variable id with its dual mass c_v (need not be sorted). *)
+let minimize_user f ids_and_costs =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) ids_and_costs
+  in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  (* walk segments; maintain running prefix of C and best candidate *)
+  let best_s = ref 0.0 and best_v = ref 0.0 (* phi(0) = 0 *) in
+  let consider s c_prefix =
+    let v = Cf.eval f s -. c_prefix in
+    if v < !best_v then begin
+      best_v := v;
+      best_s := s
+    end
+  in
+  let rec walk j c_prefix =
+    (* segment (j, j+1) with slope c = arr.(j); c_prefix = C(j) *)
+    if j >= n then ()
+    else begin
+      let _, c = arr.(j) in
+      let s_lo = float_of_int j and s_hi = float_of_int (j + 1) in
+      let d_lo = Cf.deriv f s_lo -. c and d_hi = Cf.deriv f s_hi -. c in
+      if d_lo >= 0.0 then
+        (* phi non-decreasing from here on (c only shrinks, f' grows) *)
+        ()
+      else if d_hi <= 0.0 then begin
+        consider s_hi (c_prefix +. c);
+        walk (j + 1) (c_prefix +. c)
+      end
+      else begin
+        (* stationary point inside the segment *)
+        let s_star = solve_deriv f ~target:c ~lo:s_lo ~hi:s_hi in
+        consider s_star (c_prefix +. (c *. (s_star -. s_lo)));
+        (* convex phi: no better point after the stationary one *)
+        ()
+      end
+    end
+  in
+  walk 0 0.0;
+  (* reconstruct x achieving mass best_s on the largest-c variables *)
+  let x = ref [] in
+  let remaining = ref !best_s in
+  Array.iter
+    (fun (id, _) ->
+      if !remaining > 0.0 then begin
+        let take = Float.min 1.0 !remaining in
+        x := (id, take) :: !x;
+        remaining := !remaining -. take
+      end)
+    arr;
+  { total = !best_s; value = !best_v; x = List.rev !x }
+
+type dual_eval = {
+  value : float;  (** g(y): certified lower bound on the CP optimum *)
+  x_star : float array;  (** an inner minimiser (for subgradients) *)
+  per_user : user_solution array;
+}
+
+(** Evaluate the dual function at [y] (length = formulation horizon). *)
+let eval (cp : Formulation.t) ~y =
+  if Array.length y <> cp.Formulation.horizon then
+    invalid_arg "Lagrangian.eval: y has wrong length";
+  let y_prefix = Array.make (cp.Formulation.horizon + 1) 0.0 in
+  for t = 0 to cp.Formulation.horizon - 1 do
+    y_prefix.(t + 1) <- y_prefix.(t) +. y.(t)
+  done;
+  let c = Formulation.var_costs cp ~y_prefix in
+  let x_star = Array.make (Formulation.n_vars cp) 0.0 in
+  let per_user =
+    Array.mapi
+      (fun u ids ->
+        let sol =
+          minimize_user cp.Formulation.costs.(u)
+            (List.map (fun vi -> (vi, c.(vi))) ids)
+        in
+        List.iter (fun (vi, mass) -> x_star.(vi) <- mass) sol.x;
+        sol)
+      cp.Formulation.vars_of_user
+  in
+  let inner =
+    Array.fold_left (fun acc (s : user_solution) -> acc +. s.value) 0.0 per_user
+  in
+  let constant =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun t rhs -> if y.(t) > 0.0 then acc := !acc +. (y.(t) *. float_of_int rhs))
+      cp.Formulation.rhs;
+    !acc
+  in
+  { value = inner +. constant; x_star; per_user }
+
+(** Supergradient of g at y given an inner minimiser x-star:
+    grad_t = rhs_t - activity_t. *)
+let supergradient (cp : Formulation.t) ~x_star =
+  let activity = Formulation.constraint_activity cp x_star in
+  Array.mapi (fun t rhs -> float_of_int rhs -. activity.(t)) cp.Formulation.rhs

@@ -1,0 +1,32 @@
+(** Lagrangian dual of (CP) and its exact inner minimisation.
+
+    For multipliers y >= 0 on the covering constraints, the dual
+    function [g(y)] separates by user into one-dimensional convex
+    minimisations [min_s f_i(s) - C_i(s)], where C_i is the concave
+    prefix of the user's sorted dual masses; the exact minimum is
+    found by walking C's unit segments and bisecting f' inside the
+    segment containing the stationary point.  By weak duality any
+    [eval] value is a certified lower bound on the CP optimum. *)
+
+type user_solution = {
+  total : float;  (** optimal S_i *)
+  value : float;  (** phi(S_i) = f_i(S_i) - C(S_i), <= 0 *)
+  x : (int * float) list;  (** variable id -> mass (nonzero entries) *)
+}
+
+val minimize_user :
+  Ccache_cost.Cost_function.t -> (int * float) list -> user_solution
+(** [minimize_user f ids_and_masses] minimises over [0, #vars]; the
+    input pairs each variable id with its dual mass c_v (any order). *)
+
+type dual_eval = {
+  value : float;  (** g(y): certified lower bound on the CP optimum *)
+  x_star : float array;  (** an inner minimiser (for supergradients) *)
+  per_user : user_solution array;
+}
+
+val eval : Formulation.t -> y:float array -> dual_eval
+(** @raise Invalid_argument if [y]'s length differs from the horizon. *)
+
+val supergradient : Formulation.t -> x_star:float array -> float array
+(** grad_t = rhs_t - activity_t at the inner minimiser. *)

@@ -1,0 +1,86 @@
+(** Feasibility repair: turn a fractional (CP) solution into an
+    integral schedule by simulation.
+
+    Replays the trace with a cache of size [cache_size]; whenever an
+    eviction is forced, the victim is the cached page whose current
+    fractional variable x(p, j(p,t)) is largest ("the relaxation most
+    wanted this page out"), ties broken by page order.  The result is a
+    feasible integral solution whose objective upper-bounds the (ICP)
+    optimum — used in E8 to sandwich the relaxation gap from above. *)
+
+open Ccache_trace
+module Cf = Ccache_cost.Cost_function
+
+type outcome = {
+  misses_per_user : int array;
+  evictions_per_user : int array;
+  cost_by_misses : float;
+  cost_by_evictions : float;
+}
+
+let round (cp : Formulation.t) ~x =
+  if Array.length x <> Formulation.n_vars cp then
+    invalid_arg "Rounding.round: dimension mismatch";
+  let trace = cp.Formulation.trace in
+  let n = Trace.length trace in
+  let real = cp.Formulation.real_users in
+  let k = cp.Formulation.cache_size in
+  (* var id of (page at pos): variables were built in position order,
+     one per real-user request; rebuild the per-position map *)
+  let var_at = Array.make n (-1) in
+  Array.iteri (fun vi v -> var_at.(v.Formulation.start_pos) <- vi) cp.Formulation.vars;
+  (* cached page -> position of its latest request (to find its current var) *)
+  let cached : int Page.Tbl.t = Page.Tbl.create 64 in
+  let misses = Array.make (real + 1) 0 in
+  let evictions = Array.make (real + 1) 0 in
+  let frac pos =
+    let vi = var_at.(pos) in
+    if vi < 0 then 1e9 (* flush pages never enter, see below *) else x.(vi)
+  in
+  for pos = 0 to n - 1 do
+    let p = Trace.request trace pos in
+    let u = Stdlib.min (Page.user p) real in
+    if Page.Tbl.mem cached p then Page.Tbl.replace cached p pos
+    else begin
+      misses.(u) <- misses.(u) + 1;
+      if u < real || Page.Tbl.length cached > 0 then begin
+        if Page.Tbl.length cached >= k || (u >= real && Page.Tbl.length cached > 0)
+        then begin
+          (* evict max-fractional cached page *)
+          let victim = ref None in
+          Page.Tbl.iter
+            (fun q qpos ->
+              let f = frac qpos in
+              match !victim with
+              | None -> victim := Some (q, f)
+              | Some (bq, bf) ->
+                  if f > bf || (f = bf && Page.compare q bq < 0) then
+                    victim := Some (q, f))
+            cached;
+          match !victim with
+          | Some (q, _) ->
+              Page.Tbl.remove cached q;
+              evictions.(Stdlib.min (Page.user q) real) <-
+                evictions.(Stdlib.min (Page.user q) real) + 1
+          | None -> ()
+        end;
+        (* flush pages are pinned out of the cache: they evict but do
+           not occupy (their variables are fixed to 0 in the program) *)
+        if u < real then Page.Tbl.replace cached p pos
+      end
+    end
+  done;
+  let eval_cost counts =
+    let acc = ref 0.0 in
+    for u = 0 to real - 1 do
+      acc :=
+        !acc +. Cf.eval cp.Formulation.costs.(u) (float_of_int counts.(u))
+    done;
+    !acc
+  in
+  {
+    misses_per_user = Array.sub misses 0 real;
+    evictions_per_user = Array.sub evictions 0 real;
+    cost_by_misses = eval_cost misses;
+    cost_by_evictions = eval_cost evictions;
+  }

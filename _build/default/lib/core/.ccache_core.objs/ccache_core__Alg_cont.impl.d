@@ -1,0 +1,1 @@
+lib/core/alg_cont.ml: Array Budget_state Ccache_cost Ccache_trace List Option Page Trace

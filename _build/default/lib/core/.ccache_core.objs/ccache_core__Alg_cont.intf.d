@@ -1,0 +1,1 @@
+lib/core/alg_cont.mli: Ccache_cost Ccache_trace Page Trace

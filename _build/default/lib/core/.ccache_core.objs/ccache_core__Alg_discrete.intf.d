@@ -1,0 +1,1 @@
+lib/core/alg_discrete.mli: Ccache_cost Ccache_sim

@@ -1,0 +1,1 @@
+lib/core/alg_fast.ml: Array Ccache_cost Ccache_sim Ccache_trace Ccache_util Page Stdlib

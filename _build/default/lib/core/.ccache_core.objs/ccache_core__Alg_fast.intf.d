@@ -1,0 +1,1 @@
+lib/core/alg_fast.mli: Ccache_cost Ccache_sim

@@ -1,0 +1,1 @@
+lib/core/alg_fractional.ml: Array Ccache_cost Ccache_trace Float Page Trace

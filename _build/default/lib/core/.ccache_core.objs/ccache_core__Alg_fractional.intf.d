@@ -1,0 +1,1 @@
+lib/core/alg_fractional.mli: Ccache_cost Ccache_trace

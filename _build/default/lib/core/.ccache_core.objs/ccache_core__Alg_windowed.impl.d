@@ -1,0 +1,1 @@
+lib/core/alg_windowed.ml: Array Budget_state Ccache_cost Ccache_sim Ccache_trace List Page Printf

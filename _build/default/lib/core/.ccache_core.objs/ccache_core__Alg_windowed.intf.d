@@ -1,0 +1,1 @@
+lib/core/alg_windowed.mli: Ccache_cost Ccache_sim

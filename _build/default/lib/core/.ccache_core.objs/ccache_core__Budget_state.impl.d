@@ -1,0 +1,1 @@
+lib/core/budget_state.ml: Array Ccache_cost Ccache_trace List Page Stdlib

@@ -1,0 +1,1 @@
+lib/core/budget_state.mli: Ccache_cost Ccache_trace Page

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Alg_cont Array Ccache_cost Ccache_trace Ccache_util Fmt List Option Page Printf

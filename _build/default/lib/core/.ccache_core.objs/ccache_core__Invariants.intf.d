@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Alg_cont Ccache_cost Ccache_trace Format Page Trace

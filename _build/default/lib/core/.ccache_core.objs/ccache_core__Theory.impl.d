@@ -1,0 +1,1 @@
+lib/core/theory.ml: Array Ccache_cost Float

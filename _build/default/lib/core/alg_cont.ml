@@ -1,0 +1,176 @@
+(** ALG-CONT (paper Figure 2): the continuous primal-dual algorithm,
+    instrumented with its dual variables.
+
+    The eviction decisions are exactly those of ALG-DISCRETE (both are
+    driven by {!Budget_state}); what this runner adds is the
+    bookkeeping the correctness proof reads:
+
+    - [y.(t)]   — the amount the dual variable [y_t] increases at step
+      [t] (zero unless an eviction happens; otherwise the victim's
+      budget, i.e. the point where the first gradient condition
+      becomes tight);
+    - one {!interval} record per (page, request-interval), carrying the
+      primal variable [x(p,j)] (true iff the page was evicted between
+      its j-th and (j+1)-th requests), the eviction position, and the
+      owner's eviction count [m(i(p), t-hat)] at that moment.
+
+    The [z(p,j)] duals need no explicit tracking: [z] grows exactly in
+    lockstep with [y] while the page is outside the cache within its
+    interval, so [z(p,j) = sum of y over (evict_pos, end_pos)] — the
+    checker in {!Invariants} reconstructs them from [y] prefix sums
+    (and this is itself one of the checked identities). *)
+
+module Cf = Ccache_cost.Cost_function
+open Ccache_trace
+
+type interval = {
+  page : Page.t;
+  j : int;  (** 1-based interval index: after the page's j-th request *)
+  start_pos : int;  (** position of the j-th request, i.e. t(p,j) *)
+  mutable end_pos : int option;  (** position of the (j+1)-th request *)
+  mutable x : bool;  (** primal variable: evicted in this interval *)
+  mutable evict_pos : int option;
+  mutable m_at_evict : int option;
+      (** m(i(p), t-hat): owner's eviction count right after this
+          eviction — the argument of f' in invariant (2b) *)
+}
+
+type run = {
+  trace : Trace.t;
+  k : int;
+  costs : Cf.t array;
+  mode : Cf.derivative_mode;
+  y : float array;  (** y.(t) = dy at step t *)
+  intervals : interval list;  (** all intervals, in creation order *)
+  final_m : int array;  (** m(i,T) per user *)
+  misses_per_user : int array;
+  result_cache : Page.t list;  (** cache contents at the end *)
+}
+
+(** Replay [trace] with cache size [k], recording duals.
+
+    @param flush append the paper's terminal dummy-user flush so every
+           page's last interval ends with an eviction (default false;
+           the invariant checker handles both accountings). *)
+let run ?(mode = Cf.Discrete) ?(flush = false) ~k ~costs trace =
+  if k <= 0 then invalid_arg "Alg_cont.run: k must be positive";
+  let real_users = Trace.n_users trace in
+  if Array.length costs <> real_users then
+    invalid_arg "Alg_cont.run: costs/users mismatch";
+  let n = Trace.length trace in
+  let st = Budget_state.create ~costs ~mode ~n_users:(Trace.n_users trace) in
+  let y = Array.make (n + if flush then k else 0) 0.0 in
+  let current : interval Page.Tbl.t = Page.Tbl.create 256 in
+  let all = ref [] in
+  let cached : unit Page.Tbl.t = Page.Tbl.create 256 in
+  let misses = Array.make (Trace.n_users trace) 0 in
+  for pos = 0 to n - 1 do
+    let p = Trace.request trace pos in
+    (* the previous interval of p (if any) ends here; a new one opens *)
+    let j =
+      match Page.Tbl.find_opt current p with
+      | Some iv ->
+          iv.end_pos <- Some pos;
+          iv.j + 1
+      | None -> 1
+    in
+    let iv =
+      { page = p; j; start_pos = pos; end_pos = None; x = false;
+        evict_pos = None; m_at_evict = None }
+    in
+    Page.Tbl.replace current p iv;
+    all := iv :: !all;
+    if not (Page.Tbl.mem cached p) then begin
+      misses.(Page.user p) <- misses.(Page.user p) + 1;
+      if Page.Tbl.length cached >= k then begin
+        let victim, _ = Budget_state.min_budget st in
+        let victim_iv =
+          match Page.Tbl.find_opt current victim with
+          | Some iv -> iv
+          | None -> assert false (* cached pages always have an open interval *)
+        in
+        let delta = Budget_state.evict st victim in
+        y.(pos) <- delta;
+        victim_iv.x <- true;
+        victim_iv.evict_pos <- Some pos;
+        victim_iv.m_at_evict <- Some (Budget_state.evictions st (Page.user victim));
+        Page.Tbl.remove cached victim
+      end;
+      Page.Tbl.replace cached p ();
+      Budget_state.touch st p
+    end
+    else Budget_state.touch st p
+  done;
+  (* Terminal flush (paper Section 2.1): k requests by an infinite-cost
+     dummy user, realised as pinned non-insertions — each one evicts
+     the minimum-budget real page, closing its last interval with an
+     eviction so the (ICP) accounting (evictions = misses) holds. *)
+  if flush then
+    for step = 0 to k - 1 do
+      if Page.Tbl.length cached > 0 then begin
+        let pos = n + step in
+        let victim, _ = Budget_state.min_budget st in
+        let victim_iv =
+          match Page.Tbl.find_opt current victim with
+          | Some iv -> iv
+          | None -> assert false
+        in
+        let delta = Budget_state.evict st victim in
+        y.(pos) <- delta;
+        victim_iv.x <- true;
+        victim_iv.evict_pos <- Some pos;
+        victim_iv.m_at_evict <- Some (Budget_state.evictions st (Page.user victim));
+        Page.Tbl.remove cached victim
+      end
+    done;
+  let final_m =
+    Array.init (Trace.n_users trace) (fun u -> Budget_state.evictions st u)
+  in
+  {
+    trace;
+    k;
+    costs;
+    mode;
+    y;
+    intervals = List.rev !all;
+    final_m;
+    misses_per_user = misses;
+    result_cache =
+      Page.Tbl.fold (fun p () acc -> p :: acc) cached [] |> List.sort Page.compare;
+  }
+
+(** Prefix sums of [y]: [prefix.(t)] = sum of y over positions [0..t-1],
+    so a sum over positions [a..b] inclusive is
+    [prefix.(b+1) -. prefix.(a)]. *)
+let y_prefix run =
+  let n = Array.length run.y in
+  let prefix = Array.make (n + 1) 0.0 in
+  for t = 0 to n - 1 do
+    prefix.(t + 1) <- prefix.(t) +. run.y.(t)
+  done;
+  prefix
+
+(** Sum of y over the open-open range (a, b) in positions, i.e.
+    positions a+1 .. b-1 — the paper's
+    [sum_{t = t(p,j)+1}^{t(p,j+1)-1} y_t]. *)
+let y_between prefix ~after ~before =
+  if before <= after + 1 then 0.0 else prefix.(before) -. prefix.(after + 1)
+
+(** z(p,j) reconstructed from the closed form: y-mass while the page
+    sat outside the cache within its interval. *)
+let z_of run prefix iv =
+  match iv.evict_pos with
+  | None -> 0.0
+  | Some ev ->
+      let end_pos = Option.value iv.end_pos ~default:(Array.length run.y) in
+      y_between prefix ~after:ev ~before:end_pos
+
+(** Total cost of the run: [sum_i f_i(misses_i)] over real users. *)
+let total_cost run =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun u misses ->
+      if u < Array.length run.costs then
+        acc := !acc +. Cf.eval run.costs.(u) (float_of_int misses))
+    run.misses_per_user;
+  !acc

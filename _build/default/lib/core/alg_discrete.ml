@@ -1,0 +1,101 @@
+(** ALG-DISCRETE (paper Figure 3) as an engine policy — the paper's
+    primary contribution.
+
+    Reference implementation: O(k) per eviction via a budget sweep.
+    For the O(log k) variant see {!Alg_fast}; equivalence of the two is
+    property-tested.
+
+    The [~bump] and [~subtract] switches disable individual update
+    rules for the ablation experiments (E9 in DESIGN.md):
+
+    - [~bump:false] drops the same-owner marginal increase, severing
+      the coupling between a user's pages;
+    - [~subtract:false] drops the uniform budget decay, reducing the
+      policy to greedy minimum-marginal-cost eviction (no recency
+      component at all).
+
+    Both switches default to [true] = the paper's algorithm. *)
+
+module Policy = Ccache_sim.Policy
+module Cf = Ccache_cost.Cost_function
+open Ccache_trace
+
+type variant = {
+  mode : Cf.derivative_mode;
+  bump : bool;
+  subtract : bool;
+}
+
+let default_variant = { mode = Cf.Discrete; bump = true; subtract = true }
+
+let variant_name { mode; bump; subtract } =
+  let base = "alg-discrete" in
+  let parts =
+    (match mode with Cf.Analytic -> [ "analytic" ] | Cf.Discrete -> [])
+    @ (if bump then [] else [ "nobump" ])
+    @ if subtract then [] else [ "nosubtract" ]
+  in
+  match parts with [] -> base | _ -> base ^ "[" ^ String.concat "," parts ^ "]"
+
+(* A variant-aware clone of Budget_state.evict: the shared module
+   implements the paper's rules; ablations re-derive the update here. *)
+let ablated_evict (st : Budget_state.t) ~bump ~subtract victim =
+  let delta =
+    match Budget_state.budget st victim with
+    | Some b -> b
+    | None -> invalid_arg "alg-discrete: victim not cached"
+  in
+  let owner = Page.user victim in
+  let bump_amount =
+    if bump then
+      Budget_state.rate st owner ~offset:2 -. Budget_state.rate st owner ~offset:1
+    else 0.0
+  in
+  Page.Tbl.remove st.Budget_state.b victim;
+  let slot = Stdlib.min owner (Array.length st.Budget_state.m - 1) in
+  st.Budget_state.m.(slot) <- st.Budget_state.m.(slot) + 1;
+  let updates = ref [] in
+  Page.Tbl.iter
+    (fun page b ->
+      let b = if subtract then b -. delta else b in
+      let b = if Page.user page = owner then b +. bump_amount else b in
+      updates := (page, b) :: !updates)
+    st.Budget_state.b;
+  List.iter (fun (page, b) -> Page.Tbl.replace st.Budget_state.b page b) !updates;
+  delta
+
+let make_variant variant =
+  Policy.make ~name:(variant_name variant) (fun config ->
+      let st =
+        Budget_state.create ~costs:config.Policy.Config.costs ~mode:variant.mode
+          ~n_users:config.Policy.Config.n_users
+      in
+      {
+        Policy.on_hit = (fun ~pos:_ page -> Budget_state.touch st page);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ -> fst (Budget_state.min_budget st));
+        on_insert = (fun ~pos:_ page -> Budget_state.touch st page);
+        on_evict =
+          (fun ~pos:_ victim ->
+            if variant.bump && variant.subtract then
+              ignore (Budget_state.evict st victim)
+            else
+              ignore
+                (ablated_evict st ~bump:variant.bump ~subtract:variant.subtract
+                   victim));
+      })
+
+(** The paper's algorithm with discrete marginals (Section 2.5). *)
+let policy = make_variant default_variant
+
+(** The paper's algorithm with analytic derivatives f'. *)
+let analytic = make_variant { default_variant with mode = Cf.Analytic }
+
+(** Ablation: no same-owner marginal bump. *)
+let no_bump = make_variant { default_variant with bump = false }
+
+(** Ablation: no uniform budget decay (greedy marginal-cost eviction). *)
+let no_subtract = make_variant { default_variant with subtract = false }
+
+let make ?(mode = Cf.Discrete) () = make_variant { default_variant with mode }

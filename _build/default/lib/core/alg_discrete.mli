@@ -1,0 +1,41 @@
+(** ALG-DISCRETE (paper Figure 3) as an engine policy — the paper's
+    primary contribution, in its reference O(k)-per-eviction form.
+    For the O(log k) implementation see {!Alg_fast}; the two are
+    property-tested identical under integer-valued costs.
+
+    The ablation switches disable individual Figure-3 update rules for
+    experiment E9:
+
+    - no {e bump}: drops the same-owner marginal increase, severing
+      the coupling between a user's pages;
+    - no {e subtract}: drops the uniform budget decay, reducing the
+      policy to greedy minimum-marginal-cost eviction (no recency
+      signal at all). *)
+
+type variant = {
+  mode : Ccache_cost.Cost_function.derivative_mode;
+  bump : bool;
+  subtract : bool;
+}
+
+val default_variant : variant
+(** Discrete marginals, both rules on — the paper's algorithm. *)
+
+val variant_name : variant -> string
+
+val make_variant : variant -> Ccache_sim.Policy.t
+
+val policy : Ccache_sim.Policy.t
+(** The paper's algorithm ("alg-discrete"), discrete marginals. *)
+
+val analytic : Ccache_sim.Policy.t
+(** Same with analytic derivatives f'. *)
+
+val no_bump : Ccache_sim.Policy.t
+(** Ablation: no same-owner marginal bump. *)
+
+val no_subtract : Ccache_sim.Policy.t
+(** Ablation: greedy marginal-cost eviction. *)
+
+val make :
+  ?mode:Ccache_cost.Cost_function.derivative_mode -> unit -> Ccache_sim.Policy.t

@@ -1,0 +1,88 @@
+(** ALG-DISCRETE with O(log k) evictions (DESIGN.md decision 2).
+
+    Figure 3's eviction touches every cached budget (uniform [-delta]
+    plus a same-owner bump), which makes the reference implementation
+    O(k) per eviction.  Both updates are rank-preserving within a user,
+    so we decompose
+
+      [B(p) = raw(p) - Y + U(user p)]
+
+    where [Y] accumulates all uniform subtractions and [U(i)] all of
+    user [i]'s bumps; [raw(p)] is written once per access.  Budgets
+    then live in per-user min-heaps over [raw] (page ids are unique
+    within a user, giving the same deterministic tie-break as
+    {!Budget_state.min_budget}), with a top-level heap over users keyed
+    by [min raw(i) + U(i)] (the common [-Y] cannot change the order).
+
+    With integer-valued cost marginals the arithmetic is exact and this
+    policy is bit-for-bit identical to {!Alg_discrete.policy}
+    (property-tested); with general float costs ties may resolve
+    differently, changing victims but not the algorithm's guarantees. *)
+
+module Policy = Ccache_sim.Policy
+module Cf = Ccache_cost.Cost_function
+module Heap = Ccache_util.Indexed_heap
+open Ccache_trace
+
+let make ?(mode = Cf.Discrete) () =
+  let name =
+    match mode with
+    | Cf.Discrete -> "alg-discrete-fast"
+    | Cf.Analytic -> "alg-discrete-fast[analytic]"
+  in
+  Policy.make ~name (fun config ->
+      let n_users = config.Policy.Config.n_users in
+      let n_slots = n_users + 1 (* + flush dummy *) in
+      let per_user = Array.init n_slots (fun _ -> Heap.create ()) in
+      let top = Heap.create ~capacity:n_slots () in
+      let y_off = ref 0.0 in
+      let u_off = Array.make n_slots 0.0 in
+      let m = Array.make n_slots 0 in
+      let slot u = Stdlib.min u n_users in
+      let rate u ~offset =
+        let f = Policy.Config.cost config u in
+        Cf.rate f mode (m.(slot u) + offset)
+      in
+      (* keep the top-level entry for user-slot [s] in sync *)
+      let sync_top s =
+        match Heap.peek per_user.(s) with
+        | None -> if Heap.mem top s then Heap.remove top s
+        | Some (_, min_raw) -> Heap.set top ~key:s ~prio:(min_raw +. u_off.(s))
+      in
+      let touch page =
+        let u = Page.user page in
+        let s = slot u in
+        let target = rate u ~offset:1 in
+        let raw = target +. !y_off -. u_off.(s) in
+        Heap.set per_user.(s) ~key:(Page.id page) ~prio:raw;
+        sync_top s
+      in
+      {
+        Policy.on_hit = (fun ~pos:_ page -> touch page);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            let s, _ = Heap.peek_exn top in
+            let pid, _ = Heap.peek_exn per_user.(s) in
+            (* user-slot s only holds pages of user s (the dummy slot
+               holds dummy pages whose user id is exactly n_users) *)
+            Page.make ~user:s ~id:pid);
+        on_insert = (fun ~pos:_ page -> touch page);
+        on_evict =
+          (fun ~pos:_ victim ->
+            let u = Page.user victim in
+            let s = slot u in
+            let raw = Heap.priority per_user.(s) (Page.id victim) in
+            let delta = raw -. !y_off +. u_off.(s) in
+            Heap.remove per_user.(s) (Page.id victim);
+            let bump = rate u ~offset:2 -. rate u ~offset:1 in
+            m.(s) <- m.(s) + 1;
+            y_off := !y_off +. delta;
+            u_off.(s) <- u_off.(s) +. bump;
+            (* only the owner's top entry changes: every other user's
+               key [min raw + U] is untouched by Y *)
+            sync_top s);
+      })
+
+let policy = make ()
+let analytic = make ~mode:Cf.Analytic ()

@@ -1,0 +1,13 @@
+(** ALG-DISCRETE with per-window cost resets, for windowed SLAs
+    ({!Ccache_sim.Windows}): at each window boundary the per-user
+    eviction counts reset and cached budgets re-base to the fresh
+    marginal, restarting the primal-dual state against the new
+    window's cost landscape while keeping the cache contents.
+    Experiment E14 measures the cumulative-vs-windowed trade. *)
+
+val make :
+  ?mode:Ccache_cost.Cost_function.derivative_mode ->
+  window:int ->
+  unit ->
+  Ccache_sim.Policy.t
+(** @raise Invalid_argument if [window <= 0]. *)

@@ -1,0 +1,1 @@
+lib/cost/calculus.ml: Cost_function Float Fmt List Printf

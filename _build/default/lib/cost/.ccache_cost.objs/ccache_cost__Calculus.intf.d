@@ -1,0 +1,1 @@
+lib/cost/calculus.mli: Cost_function Format

@@ -1,0 +1,1 @@
+lib/cost/cost_function.ml: Array Float Fmt List Option Piecewise Printf String

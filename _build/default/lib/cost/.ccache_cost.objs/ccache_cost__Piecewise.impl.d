@@ -1,0 +1,1 @@
+lib/cost/piecewise.ml: Array Float

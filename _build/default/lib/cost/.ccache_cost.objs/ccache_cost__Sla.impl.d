@@ -1,0 +1,1 @@
+lib/cost/sla.ml: Array Cost_function Float List Printf

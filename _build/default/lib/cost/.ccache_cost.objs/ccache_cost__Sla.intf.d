@@ -1,0 +1,1 @@
+lib/cost/sla.mli: Cost_function

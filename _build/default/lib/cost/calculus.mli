@@ -1,0 +1,33 @@
+(** Numeric validation of cost-function properties.
+
+    Theorem 1.1 requires each [f_i] to be convex, increasing and
+    non-negative with [f_i(0) = 0].  These checks verify the properties
+    on a sample grid — used by the test suite and as experiment
+    preflight to reject malformed user-supplied cost functions. *)
+
+type violation = { property : string; at : float; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val grid : ?max_x:float -> unit -> float list
+(** The sampling grid: small integers densely, then geometric. *)
+
+val check_nonnegative : ?max_x:float -> Cost_function.t -> violation list
+(** f(0) = 0 and f >= 0 on the grid. *)
+
+val check_increasing : ?max_x:float -> Cost_function.t -> violation list
+
+val check_convex : ?max_x:float -> Cost_function.t -> violation list
+(** Midpoint convexity on consecutive integer triples — sufficient for
+    the integer arguments the algorithms use. *)
+
+val check_derivative :
+  ?max_x:float -> ?tol:float -> Cost_function.t -> violation list
+(** Analytic derivative vs central differences. *)
+
+val validate_for_guarantee : ?max_x:float -> Cost_function.t -> violation list
+(** Everything Theorem 1.1 needs (derivative consistency excluded:
+    piecewise shapes are legitimately non-differentiable at
+    breakpoints). *)
+
+val is_valid_for_guarantee : ?max_x:float -> Cost_function.t -> bool

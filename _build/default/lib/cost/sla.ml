@@ -1,0 +1,84 @@
+(** SLA refund-curve builders.
+
+    The paper's motivating application (SQLVM / DaaS, Section 1.1)
+    models the Service Level Agreement between provider and tenant as a
+    non-linear cost on the number of buffer-pool misses: "a user can
+    tolerate up to around M misses in a time window of T, and any number
+    of misses greater than that will result in substantial degradation".
+    These builders produce the convex piecewise-linear curves that
+    capture such agreements. *)
+
+(** Free up to [tolerance] misses, then a constant [penalty_rate] per
+    additional miss.  Convex hinge: f(x) = penalty_rate * max(0, x - M). *)
+let hinge ~tolerance ~penalty_rate =
+  if tolerance < 0.0 then invalid_arg "Sla.hinge: negative tolerance";
+  if penalty_rate <= 0.0 then invalid_arg "Sla.hinge: penalty_rate must be positive";
+  let segments =
+    if tolerance = 0.0 then [| (0.0, penalty_rate) |]
+    else [| (0.0, 0.0); (tolerance, penalty_rate) |]
+  in
+  Cost_function.piecewise_linear
+    ~name:(Printf.sprintf "hinge(M=%g,w=%g)" tolerance penalty_rate)
+    segments
+
+(** Escalating penalty tiers: [base_rate] per miss up to the first
+    threshold, then the rate multiplies by [escalation] at each
+    subsequent threshold.  Models refund schedules that get steeper the
+    worse the violation ("gold/silver/bronze" breach levels). *)
+let tiered ~thresholds ~base_rate ~escalation =
+  if base_rate < 0.0 then invalid_arg "Sla.tiered: negative base_rate";
+  if escalation < 1.0 then invalid_arg "Sla.tiered: escalation must be >= 1";
+  let thresholds = List.sort_uniq Float.compare thresholds in
+  List.iter
+    (fun th -> if th <= 0.0 then invalid_arg "Sla.tiered: thresholds must be positive")
+    thresholds;
+  let segments =
+    (0.0, base_rate)
+    :: List.mapi
+         (fun i th -> (th, base_rate *. Float.pow escalation (float_of_int (i + 1))))
+         thresholds
+  in
+  Cost_function.piecewise_linear
+    ~name:
+      (Printf.sprintf "tiered(%d tiers,w0=%g,esc=%g)" (List.length thresholds + 1)
+         base_rate escalation)
+    (Array.of_list segments)
+
+(** Smooth analogue of [hinge]: quadratic ramp after the tolerance.
+    f(x) = penalty_rate * max(0, x - M)^2 / 2 — differentiable
+    everywhere, convenient for exercising the analytic-derivative mode. *)
+let smooth_hinge ~tolerance ~penalty_rate =
+  if tolerance < 0.0 then invalid_arg "Sla.smooth_hinge: negative tolerance";
+  if penalty_rate <= 0.0 then
+    invalid_arg "Sla.smooth_hinge: penalty_rate must be positive";
+  let eval x =
+    let d = Float.max 0.0 (x -. tolerance) in
+    penalty_rate *. d *. d /. 2.0
+  in
+  let deriv x = penalty_rate *. Float.max 0.0 (x -. tolerance) in
+  (* alpha = sup x f'(x)/f(x) = sup 2x(x-M)/(x-M)^2 = sup 2x/(x-M),
+     unbounded as x -> M+. Cap via the interpretation that misses are
+     integers: the first charged point is x = floor(M)+1. *)
+  let first = Float.max 1.0 (floor tolerance +. 1.0) in
+  let alpha =
+    if first <= tolerance then infinity
+    else 2.0 *. first /. (first -. tolerance)
+  in
+  Cost_function.custom
+    ~name:(Printf.sprintf "smooth-hinge(M=%g,w=%g)" tolerance penalty_rate)
+    ~eval ~deriv ~alpha ()
+
+(** A deliberately non-convex "step refund" curve (flat fee per breached
+    tier).  Used by tests and experiments to exercise the
+    arbitrary-cost-function mode of Section 2.5, where the algorithm
+    still runs (via discrete marginals) but no guarantee applies. *)
+let step_refund ~thresholds ~fee =
+  if fee <= 0.0 then invalid_arg "Sla.step_refund: fee must be positive";
+  let thresholds = List.sort_uniq Float.compare thresholds in
+  let eval x =
+    fee *. float_of_int (List.length (List.filter (fun th -> x >= th) thresholds))
+  in
+  let deriv _ = 0.0 in
+  Cost_function.custom
+    ~name:(Printf.sprintf "step(%d tiers,fee=%g)" (List.length thresholds) fee)
+    ~eval ~deriv ()

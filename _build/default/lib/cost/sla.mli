@@ -1,0 +1,31 @@
+(** SLA refund-curve builders.
+
+    The paper's motivating application (SQLVM / DaaS, Section 1.1)
+    models the Service Level Agreement between provider and tenant as a
+    non-linear cost on buffer-pool misses: "a user can tolerate up to
+    around M misses in a time window of T, and any number of misses
+    greater than that will result in substantial degradation". *)
+
+val hinge : tolerance:float -> penalty_rate:float -> Cost_function.t
+(** Free up to [tolerance] misses, then [penalty_rate] per extra miss:
+    f(x) = penalty_rate * max(0, x - tolerance).  Convex. *)
+
+val tiered :
+  thresholds:float list ->
+  base_rate:float ->
+  escalation:float ->
+  Cost_function.t
+(** Escalating per-miss rates: [base_rate] up to the first threshold,
+    multiplied by [escalation >= 1] at each subsequent threshold.
+    Convex. *)
+
+val smooth_hinge : tolerance:float -> penalty_rate:float -> Cost_function.t
+(** Differentiable hinge: quadratic ramp past the tolerance,
+    f(x) = penalty_rate * max(0, x - tolerance)^2 / 2.  The reported
+    alpha uses the first charged integer point (see the implementation
+    note: the real-valued supremum diverges at the tolerance). *)
+
+val step_refund : thresholds:float list -> fee:float -> Cost_function.t
+(** Deliberately {b non-convex} flat fee per breached tier.  Exercises
+    the arbitrary-cost mode of Section 2.5; {!Calculus} flags it as
+    outside the Theorem 1.1 assumptions. *)

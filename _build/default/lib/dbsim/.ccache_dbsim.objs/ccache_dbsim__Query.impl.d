@@ -1,0 +1,1 @@
+lib/dbsim/query.ml: Float List Schema Stdlib

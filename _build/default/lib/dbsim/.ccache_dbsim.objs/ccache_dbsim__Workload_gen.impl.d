@@ -1,0 +1,1 @@
+lib/dbsim/workload_gen.ml: Array Ccache_trace Ccache_util Hashtbl List Option Page Query Schema Trace Zipf

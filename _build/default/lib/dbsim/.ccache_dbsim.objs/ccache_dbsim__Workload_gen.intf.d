@@ -1,0 +1,1 @@
+lib/dbsim/workload_gen.mli: Ccache_trace Query Schema

@@ -1,0 +1,67 @@
+(** Query model and its compilation to buffer-pool page accesses.
+
+    Four query shapes cover the buffer-pool behaviours that matter for
+    multi-tenant caching:
+
+    - [Point_lookup]: a root-to-leaf B-tree descent plus one data
+      page — index roots become very hot, leaves follow the key
+      distribution;
+    - [Range_scan]: one descent, then [length] consecutive leaves —
+      the sequential traffic that floods recency-based policies;
+    - [Full_scan]: every leaf of the table in order;
+    - [Insert]: a descent plus the target leaf (buffer-pool-wise a
+      write touches the same pages as a read in this model).
+
+    Keys are ranks into the table's leaf region; the generator draws
+    them from a per-table Zipf so each table has its own hot range. *)
+
+type kind =
+  | Point_lookup of { table : int }
+  | Range_scan of { table : int; length : int }
+  | Full_scan of { table : int }
+  | Insert of { table : int }
+
+let kind_name = function
+  | Point_lookup _ -> "point"
+  | Range_scan _ -> "range"
+  | Full_scan _ -> "full-scan"
+  | Insert _ -> "insert"
+
+let table_of = function
+  | Point_lookup { table } | Range_scan { table; _ } | Full_scan { table }
+  | Insert { table } ->
+      table
+
+(* Index descent for a given leaf: at level l the slot is the leaf
+   index divided by fanout^(depth - l) — the ancestor covering it. *)
+let descent schema ~table ~leaf =
+  let tbl = Schema.table schema table in
+  let depth = Schema.index_depth tbl.Schema.spec in
+  List.init depth (fun level ->
+      let span =
+        int_of_float
+          (Float.pow (float_of_int tbl.Schema.spec.Schema.fanout)
+             (float_of_int (depth - level)))
+      in
+      Schema.index_page tbl ~level ~slot:(leaf / Stdlib.max 1 span))
+
+(** Page ids touched by one query, in access order.  [leaf_rank] is
+    the key's leaf position (callers draw it from their distribution);
+    it is clamped into range, so samplers need not know table sizes. *)
+let compile schema query ~leaf_rank =
+  let tbl = Schema.table schema (table_of query) in
+  let leaves = tbl.Schema.spec.Schema.data_pages in
+  let leaf = ((leaf_rank mod leaves) + leaves) mod leaves in
+  match query with
+  | Point_lookup { table } ->
+      descent schema ~table ~leaf @ [ Schema.data_page tbl leaf ]
+  | Insert { table } ->
+      descent schema ~table ~leaf @ [ Schema.data_page tbl leaf ]
+  | Range_scan { table; length } ->
+      let length = Stdlib.max 1 (Stdlib.min length leaves) in
+      let start = Stdlib.min leaf (leaves - length) in
+      descent schema ~table ~leaf:start
+      @ List.init length (fun i -> Schema.data_page tbl (start + i))
+  | Full_scan { table } ->
+      descent schema ~table ~leaf:0
+      @ List.init leaves (fun i -> Schema.data_page tbl i)

@@ -1,0 +1,19 @@
+(** Query model and its compilation to buffer-pool page accesses:
+    B-tree point lookups and inserts (root-to-leaf descent + data
+    page), range scans (descent + consecutive leaves), full scans. *)
+
+type kind =
+  | Point_lookup of { table : int }
+  | Range_scan of { table : int; length : int }
+  | Full_scan of { table : int }
+  | Insert of { table : int }
+
+val kind_name : kind -> string
+val table_of : kind -> int
+
+val descent : Schema.t -> table:int -> leaf:int -> int list
+(** Index pages (root first) on the path to [leaf]. *)
+
+val compile : Schema.t -> kind -> leaf_rank:int -> int list
+(** Page ids touched by one query, in access order.  [leaf_rank]
+    (clamped into range) is the key's leaf position. *)

@@ -1,0 +1,127 @@
+(** Query-level workload generation: per-tenant query mixes compiled
+    down to a multi-tenant buffer-pool page trace.
+
+    This is the DaaS front-end of the DESIGN.md substitution table —
+    where {!Ccache_trace.Workloads} synthesises page streams directly,
+    this module synthesises {e queries} (the unit the SQLVM paper's
+    SLAs are written against) and lets the storage model produce the
+    page accesses.  The resulting traces have the structural
+    signatures of real buffer pools: blazing-hot index roots, Zipf
+    leaves, and scan bursts. *)
+
+module Prng = Ccache_util.Prng
+open Ccache_trace
+
+type tenant_profile = {
+  schema : Schema.t;
+  mix : (float * Query.kind) list;  (** weighted query shapes *)
+  key_skew : float;  (** Zipf skew of leaf ranks, per table *)
+  weight : float;  (** relative query rate of this tenant *)
+}
+
+let profile ?(key_skew = 0.9) ?(weight = 1.0) ~schema mix =
+  if mix = [] then invalid_arg "Workload_gen.profile: empty mix";
+  List.iter
+    (fun (w, q) ->
+      if w <= 0.0 then invalid_arg "Workload_gen.profile: nonpositive mix weight";
+      let t = Query.table_of q in
+      if t < 0 || t >= Schema.n_tables schema then
+        invalid_arg "Workload_gen.profile: query references unknown table")
+    mix;
+  if weight <= 0.0 then invalid_arg "Workload_gen.profile: nonpositive weight";
+  if key_skew < 0.0 then invalid_arg "Workload_gen.profile: negative skew";
+  { schema; mix; key_skew; weight }
+
+type stats = {
+  queries_per_tenant : int array;
+  pages_per_tenant : int array;
+  queries_by_kind : (string * int) list;
+}
+
+(** Generate [queries] queries across the tenants and compile them to
+    a page trace.  Returns the trace plus query-level stats (the
+    quantity SLAs of the companion paper are written against). *)
+let generate ~seed ~queries profiles =
+  if profiles = [] then invalid_arg "Workload_gen.generate: no tenants";
+  if queries < 0 then invalid_arg "Workload_gen.generate: negative query count";
+  let profiles = Array.of_list profiles in
+  let n = Array.length profiles in
+  let rng = Prng.create ~seed in
+  let tenant_weights = Array.map (fun p -> p.weight) profiles in
+  (* per-tenant per-table key samplers *)
+  let keyed =
+    Array.map
+      (fun p ->
+        let rngs = Prng.split rng in
+        let zipfs =
+          Array.init (Schema.n_tables p.schema) (fun t ->
+              let tbl = Schema.table p.schema t in
+              Zipf.create ~n:tbl.Schema.spec.Schema.data_pages ~skew:p.key_skew)
+        in
+        (rngs, zipfs))
+      profiles
+  in
+  let q_counts = Array.make n 0 in
+  let p_counts = Array.make n 0 in
+  let kind_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let requests = ref [] in
+  for _ = 1 to queries do
+    let u = Prng.categorical rng ~weights:tenant_weights in
+    let p = profiles.(u) in
+    let t_rng, zipfs = keyed.(u) in
+    let mix_weights = Array.of_list (List.map fst p.mix) in
+    let query = snd (List.nth p.mix (Prng.categorical t_rng ~weights:mix_weights)) in
+    let table = Query.table_of query in
+    let leaf_rank = Zipf.sample zipfs.(table) t_rng in
+    let pages = Query.compile p.schema query ~leaf_rank in
+    q_counts.(u) <- q_counts.(u) + 1;
+    p_counts.(u) <- p_counts.(u) + List.length pages;
+    let key = Query.kind_name query in
+    Hashtbl.replace kind_counts key
+      (1 + Option.value (Hashtbl.find_opt kind_counts key) ~default:0);
+    List.iter
+      (fun id -> requests := Page.make ~user:u ~id :: !requests)
+      pages
+  done;
+  let trace = Trace.of_list ~n_users:n (List.rev !requests) in
+  let stats =
+    {
+      queries_per_tenant = q_counts;
+      pages_per_tenant = p_counts;
+      queries_by_kind =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) kind_counts []
+        |> List.sort compare;
+    }
+  in
+  (trace, stats)
+
+(** A canned OLTP + reporting tenant pair, scaled by [scale]:
+    tenant 0 runs skewed point lookups and inserts over two tables;
+    tenant 1 mixes point reads with periodic range and full scans —
+    the archetypes of the SQLVM evaluation. *)
+let oltp_reporting ~scale =
+  if scale <= 0 then invalid_arg "Workload_gen.oltp_reporting: scale must be positive";
+  let oltp_schema =
+    Schema.create
+      [
+        Schema.table_spec ~fanout:32 ~data_pages:(80 * scale) ();
+        Schema.table_spec ~fanout:32 ~data_pages:(40 * scale) ();
+      ]
+  in
+  let reporting_schema =
+    Schema.create [ Schema.table_spec ~fanout:32 ~data_pages:(120 * scale) () ]
+  in
+  [
+    profile ~weight:3.0 ~key_skew:1.1 ~schema:oltp_schema
+      [
+        (6.0, Query.Point_lookup { table = 0 });
+        (2.0, Query.Point_lookup { table = 1 });
+        (2.0, Query.Insert { table = 0 });
+      ];
+    profile ~weight:1.0 ~key_skew:0.6 ~schema:reporting_schema
+      [
+        (5.0, Query.Point_lookup { table = 0 });
+        (3.0, Query.Range_scan { table = 0; length = 12 * scale });
+        (0.5, Query.Full_scan { table = 0 });
+      ];
+  ]

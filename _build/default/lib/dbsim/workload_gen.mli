@@ -1,0 +1,38 @@
+(** Query-level workload generation: per-tenant query mixes compiled
+    to a multi-tenant buffer-pool page trace — the DaaS front-end of
+    the DESIGN.md substitution table.  Traces carry real buffer-pool
+    signatures: hot index roots, Zipf leaves, scan bursts. *)
+
+type tenant_profile = {
+  schema : Schema.t;
+  mix : (float * Query.kind) list;
+  key_skew : float;
+  weight : float;
+}
+
+val profile :
+  ?key_skew:float ->
+  ?weight:float ->
+  schema:Schema.t ->
+  (float * Query.kind) list ->
+  tenant_profile
+(** Defaults: skew 0.9, weight 1.  Validates the mix against the
+    schema. *)
+
+type stats = {
+  queries_per_tenant : int array;
+  pages_per_tenant : int array;
+  queries_by_kind : (string * int) list;
+}
+
+val generate :
+  seed:int ->
+  queries:int ->
+  tenant_profile list ->
+  Ccache_trace.Trace.t * stats
+(** [queries] queries across all tenants (weighted), compiled to page
+    requests.  Deterministic in [(seed, profiles)]. *)
+
+val oltp_reporting : scale:int -> tenant_profile list
+(** Canned pair: a skewed OLTP tenant and a scan-heavy reporting
+    tenant — the SQLVM evaluation archetypes. *)

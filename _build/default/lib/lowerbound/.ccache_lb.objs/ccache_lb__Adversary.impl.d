@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Array Ccache_sim Ccache_trace List Page Trace

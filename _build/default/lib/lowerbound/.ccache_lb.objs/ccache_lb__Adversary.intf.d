@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.mli: Ccache_cost Ccache_sim Ccache_trace

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem4.ml: Adversary Array Ccache_cost Ccache_offline Ccache_sim Ccache_util Float List

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem4.mli: Ccache_cost Ccache_sim

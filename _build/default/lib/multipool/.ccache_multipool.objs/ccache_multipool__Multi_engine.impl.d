@@ -1,0 +1,1 @@
+lib/multipool/multi_engine.ml: Array Ccache_core Ccache_cost Ccache_sim Ccache_trace Float List Page Printf Trace

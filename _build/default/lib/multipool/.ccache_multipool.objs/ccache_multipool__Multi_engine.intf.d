@@ -1,0 +1,1 @@
+lib/multipool/multi_engine.mli: Ccache_cost Ccache_sim Ccache_trace

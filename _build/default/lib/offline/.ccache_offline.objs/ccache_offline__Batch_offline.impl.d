@@ -1,0 +1,1 @@
+lib/offline/batch_offline.ml: Array Ccache_cost Ccache_trace List Page Stdlib Trace

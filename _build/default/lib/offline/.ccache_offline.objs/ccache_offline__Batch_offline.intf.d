@@ -1,0 +1,1 @@
+lib/offline/batch_offline.mli: Ccache_cost Ccache_trace

@@ -1,0 +1,1 @@
+lib/offline/best_of.ml: Array Ccache_cost Ccache_policies Ccache_sim Ccache_trace Dp_opt List Local_search Trace

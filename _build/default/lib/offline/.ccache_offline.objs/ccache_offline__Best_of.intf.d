@@ -1,0 +1,1 @@
+lib/offline/best_of.mli: Ccache_cost Ccache_trace

@@ -1,0 +1,1 @@
+lib/offline/dp_opt.ml: Array Ccache_cost Ccache_trace Hashtbl List Option Page Printf Trace

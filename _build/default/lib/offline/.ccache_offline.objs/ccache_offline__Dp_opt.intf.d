@@ -1,0 +1,1 @@
+lib/offline/dp_opt.mli: Ccache_cost Ccache_trace

@@ -1,0 +1,1 @@
+lib/offline/local_search.ml: Array Ccache_policies Ccache_sim Ccache_trace Ccache_util List Option Page Trace

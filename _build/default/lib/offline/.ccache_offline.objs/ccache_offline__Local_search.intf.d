@@ -1,0 +1,1 @@
+lib/offline/local_search.mli: Ccache_cost Ccache_sim Ccache_trace

@@ -1,0 +1,1 @@
+lib/policies/arc.ml: Ccache_sim Ccache_trace Ccache_util Float Page Stdlib

@@ -1,0 +1,1 @@
+lib/policies/arc.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/belady.ml: Ccache_sim Ccache_trace Ccache_util Float Int Interner Trace

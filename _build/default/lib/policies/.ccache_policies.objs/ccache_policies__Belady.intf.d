@@ -1,0 +1,1 @@
+lib/policies/belady.mli: Ccache_sim

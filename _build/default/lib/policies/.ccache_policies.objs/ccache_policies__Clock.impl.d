@@ -1,0 +1,1 @@
+lib/policies/clock.ml: Ccache_sim Ccache_trace Ccache_util Page

@@ -1,0 +1,1 @@
+lib/policies/clock.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/convex_belady.ml: Array Ccache_cost Ccache_sim Ccache_trace Ccache_util Float Hashtbl Int Interner Page Stdlib Trace

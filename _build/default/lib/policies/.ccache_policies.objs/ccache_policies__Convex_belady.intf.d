@@ -1,0 +1,1 @@
+lib/policies/convex_belady.mli: Ccache_sim

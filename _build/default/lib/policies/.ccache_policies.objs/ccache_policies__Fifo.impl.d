@@ -1,0 +1,1 @@
+lib/policies/fifo.ml: Ccache_sim Ccache_trace Ccache_util Page

@@ -1,0 +1,1 @@
+lib/policies/interner.ml: Array Ccache_trace Page

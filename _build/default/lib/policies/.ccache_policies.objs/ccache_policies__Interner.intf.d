@@ -1,0 +1,1 @@
+lib/policies/interner.mli: Ccache_trace

@@ -1,0 +1,1 @@
+lib/policies/landlord.ml: Array Ccache_cost Ccache_sim Ccache_trace Ccache_util Interner Page Printf Stdlib

@@ -1,0 +1,1 @@
+lib/policies/landlord.mli: Ccache_sim

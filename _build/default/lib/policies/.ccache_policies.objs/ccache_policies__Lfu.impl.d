@@ -1,0 +1,1 @@
+lib/policies/lfu.ml: Ccache_sim Ccache_util Hashtbl Interner Option

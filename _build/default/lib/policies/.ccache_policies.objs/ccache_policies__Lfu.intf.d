@@ -1,0 +1,1 @@
+lib/policies/lfu.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/lru.ml: Ccache_sim Ccache_trace Ccache_util Page

@@ -1,0 +1,1 @@
+lib/policies/lru.mli: Ccache_sim

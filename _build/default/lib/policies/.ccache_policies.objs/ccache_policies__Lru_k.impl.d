@@ -1,0 +1,1 @@
+lib/policies/lru_k.ml: Array Ccache_sim Ccache_util Hashtbl Interner Printf

@@ -1,0 +1,1 @@
+lib/policies/lru_k.mli: Ccache_sim

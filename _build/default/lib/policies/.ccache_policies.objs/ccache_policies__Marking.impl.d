@@ -1,0 +1,1 @@
+lib/policies/marking.ml: Ccache_sim Ccache_trace Ccache_util List Page

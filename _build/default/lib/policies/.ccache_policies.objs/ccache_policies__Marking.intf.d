@@ -1,0 +1,1 @@
+lib/policies/marking.mli: Ccache_sim

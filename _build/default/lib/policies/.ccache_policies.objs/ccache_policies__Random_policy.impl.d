@@ -1,0 +1,1 @@
+lib/policies/random_policy.ml: Array Ccache_sim Ccache_trace Ccache_util Hashtbl Page

@@ -1,0 +1,1 @@
+lib/policies/random_policy.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/randomized_marking.ml: Array Ccache_sim Ccache_trace Ccache_util Hashtbl List Page

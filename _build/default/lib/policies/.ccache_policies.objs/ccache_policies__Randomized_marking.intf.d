@@ -1,0 +1,1 @@
+lib/policies/randomized_marking.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/registry.ml: Arc Belady Ccache_sim Clock Convex_belady Fifo Landlord Lfu List Lru Lru_k Marking Random_policy Randomized_marking Static_partition Two_q

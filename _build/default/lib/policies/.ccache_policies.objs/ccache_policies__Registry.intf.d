@@ -1,0 +1,1 @@
+lib/policies/registry.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/static_partition.ml: Array Ccache_sim Ccache_trace Ccache_util Page Stdlib

@@ -1,0 +1,1 @@
+lib/policies/static_partition.mli: Ccache_sim

@@ -1,0 +1,1 @@
+lib/policies/two_q.ml: Ccache_sim Ccache_trace Ccache_util Page Stdlib

@@ -1,0 +1,1 @@
+lib/policies/two_q.mli: Ccache_sim

@@ -1,0 +1,121 @@
+(** ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+    Four lists: resident [T1] (recency: seen once recently) and [T2]
+    (frequency: seen at least twice), plus ghost histories [B1]/[B2]
+    of pages recently evicted from T1/T2.  A tunable target [p] splits
+    the cache between T1 and T2; ghost hits move it — a B1 hit says
+    "recency is winning, grow p", a B2 hit the opposite — which is the
+    self-tuning that made ARC famous.
+
+    Adaptation to the engine contract: placement decisions happen in
+    [on_insert] (ghost membership decides T1 vs T2 and adapts p);
+    victims follow the REPLACE procedure (evict T1's LRU when
+    |T1| > p, else T2's LRU).  Ghost lists are capped so that
+    |T1|+|B1| <= k and the four lists total <= 2k, as in the paper. *)
+
+module Policy = Ccache_sim.Policy
+open Ccache_trace
+module Dlist = Ccache_util.Dlist
+
+type list_id = T1 | T2 | B1 | B2
+
+let policy =
+  Policy.make ~name:"arc" (fun config ->
+      let k = config.Policy.Config.k in
+      let t1 = Dlist.create () and t2 = Dlist.create () in
+      let b1 = Dlist.create () and b2 = Dlist.create () in
+      let lists = function T1 -> t1 | T2 -> t2 | B1 -> b1 | B2 -> b2 in
+      let where : list_id Page.Tbl.t = Page.Tbl.create 256 in
+      let nodes : Page.t Dlist.node Page.Tbl.t = Page.Tbl.create 256 in
+      let p = ref 0.0 (* target size of T1, in [0, k] *) in
+      let detach page =
+        match (Page.Tbl.find_opt where page, Page.Tbl.find_opt nodes page) with
+        | Some l, Some n ->
+            Dlist.remove (lists l) n;
+            Page.Tbl.remove where page;
+            Page.Tbl.remove nodes page;
+            Some l
+        | _ -> None
+      in
+      let attach_front page l =
+        let n = Dlist.node page in
+        Page.Tbl.replace nodes page n;
+        Page.Tbl.replace where page l;
+        Dlist.push_front (lists l) n
+      in
+      (* drop a ghost from the LRU end of B1 or B2 *)
+      let trim_ghost l =
+        match Dlist.pop_back (lists l) with
+        | Some n ->
+            let page = Dlist.value n in
+            Page.Tbl.remove where page;
+            Page.Tbl.remove nodes page
+        | None -> ()
+      in
+      {
+        Policy.on_hit =
+          (fun ~pos:_ page ->
+            (* resident hit: promote to T2 MRU *)
+            ignore (detach page);
+            attach_front page T2);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming ->
+            (* REPLACE: prefer T1 when it exceeds the target p (with the
+               paper's tie nudge toward T1 if the incoming page is a B2
+               ghost), else T2 *)
+            let incoming_in_b2 = Page.Tbl.find_opt where incoming = Some B2 in
+            let t1_len = float_of_int (Dlist.length t1) in
+            let from_t1 =
+              (not (Dlist.is_empty t1))
+              && (t1_len > !p || (incoming_in_b2 && t1_len = !p) || Dlist.is_empty t2)
+            in
+            let queue = if from_t1 then t1 else t2 in
+            match Dlist.back queue with
+            | Some n -> Dlist.value n
+            | None -> invalid_arg "arc: choose_victim on empty cache");
+        on_insert =
+          (fun ~pos:_ page ->
+            (match Page.Tbl.find_opt where page with
+            | Some B1 ->
+                (* recency ghost hit: grow p by max(1, |B2|/|B1|) *)
+                let d =
+                  Float.max 1.0
+                    (float_of_int (Dlist.length b2)
+                    /. float_of_int (Stdlib.max 1 (Dlist.length b1)))
+                in
+                p := Float.min (float_of_int k) (!p +. d);
+                ignore (detach page);
+                attach_front page T2
+            | Some B2 ->
+                (* frequency ghost hit: shrink p *)
+                let d =
+                  Float.max 1.0
+                    (float_of_int (Dlist.length b1)
+                    /. float_of_int (Stdlib.max 1 (Dlist.length b2)))
+                in
+                p := Float.max 0.0 (!p -. d);
+                ignore (detach page);
+                attach_front page T2
+            | Some (T1 | T2) ->
+                invalid_arg ("arc: inserting resident page " ^ Page.to_string page)
+            | None ->
+                (* brand new page goes to T1; keep |T1|+|B1| <= k and
+                   the directory total <= 2k, as in the paper's Case IV *)
+                if Dlist.length t1 + Dlist.length b1 >= k then trim_ghost B1
+                else if
+                  Dlist.length t1 + Dlist.length t2 + Dlist.length b1
+                  + Dlist.length b2
+                  >= 2 * k
+                then trim_ghost B2;
+                attach_front page T1));
+        on_evict =
+          (fun ~pos:_ page ->
+            (* resident page leaves the cache: its identity becomes a
+               ghost in the matching history list *)
+            match detach page with
+            | Some T1 -> attach_front page B1
+            | Some T2 -> attach_front page B2
+            | Some (B1 | B2) | None ->
+                invalid_arg ("arc: evicting non-resident " ^ Page.to_string page));
+      })

@@ -1,0 +1,5 @@
+(** ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03):
+    recency list T1 and frequency list T2 with ghost histories B1/B2
+    and a self-tuning split target p moved by ghost hits. *)
+
+val policy : Ccache_sim.Policy.t

@@ -1,0 +1,42 @@
+(** Belady's MIN (offline): evict the cached page whose next request is
+    furthest in the future.
+
+    Optimal for miss *count* with a single user / uniform costs; used as
+    the classical offline reference.  Requires the trace index
+    ([Policy.needs_future]).
+
+    Each cached page's next-use position is known at its last access
+    (that is exactly what [Trace.Index.next_use] stores), so a heap
+    keyed by negated next-use gives the furthest page in O(log k). *)
+
+module Policy = Ccache_sim.Policy
+
+open Ccache_trace
+module Heap = Ccache_util.Indexed_heap
+
+let policy =
+  Policy.make ~needs_future:true ~name:"belady" (fun config ->
+      let index =
+        match config.Policy.Config.index with
+        | Some i -> i
+        | None -> assert false (* guarded by needs_future *)
+      in
+      let interner = Interner.create () in
+      let heap = Heap.create () in
+      let touch ~pos page =
+        let key = Interner.intern interner page in
+        let next = Trace.Index.next_use index pos in
+        let prio = if next = Int.max_int then Float.neg_infinity else -.float_of_int next in
+        Heap.set heap ~key ~prio
+      in
+      {
+        Policy.on_hit = (fun ~pos page -> touch ~pos page);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            let key, _ = Heap.peek_exn heap in
+            Interner.page interner key);
+        on_insert = (fun ~pos page -> touch ~pos page);
+        on_evict =
+          (fun ~pos:_ page -> Heap.remove heap (Interner.intern interner page));
+      })

@@ -1,0 +1,5 @@
+(** Belady's MIN (offline): evict the page whose next request is
+    furthest in the future.  Optimal for miss count with uniform
+    costs; requires the trace index. *)
+
+val policy : Ccache_sim.Policy.t

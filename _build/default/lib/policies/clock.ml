@@ -1,0 +1,56 @@
+(** CLOCK (second-chance FIFO).
+
+    Pages sit on a circular list with a reference bit; the hand sweeps
+    from the oldest entry, clearing set bits and evicting the first
+    page whose bit is already clear.  Approximates LRU at O(1) hit
+    cost — the classical VM page-replacement algorithm. *)
+
+module Policy = Ccache_sim.Policy
+open Ccache_trace
+module Dlist = Ccache_util.Dlist
+
+type entry = { page : Page.t; mutable referenced : bool }
+
+let policy =
+  Policy.make ~name:"clock" (fun _config ->
+      (* the Dlist front is the hand position: entries cycle from front
+         (oldest / next to examine) to back (most recently passed) *)
+      let ring = Dlist.create () in
+      let nodes : entry Dlist.node Page.Tbl.t = Page.Tbl.create 256 in
+      {
+        Policy.on_hit =
+          (fun ~pos:_ page ->
+            match Page.Tbl.find_opt nodes page with
+            | Some n -> (Dlist.value n).referenced <- true
+            | None -> invalid_arg ("clock: untracked page " ^ Page.to_string page));
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            (* sweep: clear bits and rotate until an unreferenced entry
+               surfaces.  Terminates within two laps. *)
+            let rec sweep () =
+              match Dlist.front ring with
+              | None -> invalid_arg "clock: choose_victim on empty cache"
+              | Some n ->
+                  let e = Dlist.value n in
+                  if e.referenced then begin
+                    e.referenced <- false;
+                    Dlist.move_to_back ring n;
+                    sweep ()
+                  end
+                  else e.page
+            in
+            sweep ());
+        on_insert =
+          (fun ~pos:_ page ->
+            let n = Dlist.node { page; referenced = false } in
+            Page.Tbl.replace nodes page n;
+            Dlist.push_back ring n);
+        on_evict =
+          (fun ~pos:_ page ->
+            match Page.Tbl.find_opt nodes page with
+            | Some n ->
+                Dlist.remove ring n;
+                Page.Tbl.remove nodes page
+            | None -> invalid_arg ("clock: untracked page " ^ Page.to_string page));
+      })

@@ -1,0 +1,4 @@
+(** CLOCK (second-chance FIFO): reference bits on a circular list, the
+    hand clears bits and evicts the first clear page. *)
+
+val policy : Ccache_sim.Policy.t

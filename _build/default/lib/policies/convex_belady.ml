@@ -1,0 +1,81 @@
+(** Cost-aware offline heuristic ("convex Belady").
+
+    Victim: the cached page minimising
+    [marginal_cost(user) / (next_use - pos)] — prefer evicting pages
+    that are cheap for their owner *and* not needed for a long time.
+    Pages never requested again have infinite distance and are evicted
+    first (cheapest owner first).
+
+    Not optimal (no offline polynomial algorithm is known for the
+    convex objective), but a strong upper bound on OPT used by
+    {!Ccache_offline.Best_of}. *)
+
+module Policy = Ccache_sim.Policy
+
+open Ccache_trace
+module Heap = Ccache_util.Indexed_heap
+module Cf = Ccache_cost.Cost_function
+
+let policy =
+  Policy.make ~needs_future:true ~name:"convex-belady" (fun config ->
+      let index =
+        match config.Policy.Config.index with
+        | Some i -> i
+        | None -> assert false
+      in
+      let interner = Interner.create () in
+      let heap = Heap.create () in
+      let n_users = config.Policy.Config.n_users in
+      let evictions = Array.make (n_users + 1) 0 in
+      (* next-use position per cached page, kept to recompute scores
+         when a user's marginal cost changes *)
+      let next_use_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
+      let marginal user =
+        let f = Policy.Config.cost config user in
+        let m = evictions.(Stdlib.min user n_users) in
+        Cf.eval f (float_of_int (m + 1)) -. Cf.eval f (float_of_int m)
+      in
+      let score ~pos ~next page =
+        if next = Int.max_int then
+          (* dead page: order by marginal so cheap owners go first, and
+             keep all dead pages below any live page *)
+          -.1e18 +. marginal (Page.user page)
+        else
+          let dist = float_of_int (next - pos) in
+          marginal (Page.user page) /. Float.max 1.0 dist
+      in
+      let touch ~pos page =
+        let key = Interner.intern interner page in
+        let next = Trace.Index.next_use index pos in
+        Hashtbl.replace next_use_of key next;
+        Heap.set heap ~key ~prio:(score ~pos ~next page)
+      in
+      (* After a user's eviction count changes, marginals of its other
+         cached pages change; refresh them (O(cached-of-user log k),
+         acceptable for an offline reference). *)
+      let refresh_user ~pos user =
+        Hashtbl.iter
+          (fun key next ->
+            let page = Interner.page interner key in
+            if Page.user page = user && Heap.mem heap key then
+              Heap.update heap ~key ~prio:(score ~pos ~next page))
+          next_use_of
+      in
+      {
+        Policy.on_hit = (fun ~pos page -> touch ~pos page);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            let key, _ = Heap.peek_exn heap in
+            Interner.page interner key);
+        on_insert = (fun ~pos page -> touch ~pos page);
+        on_evict =
+          (fun ~pos page ->
+            let u = Page.user page in
+            let slot = Stdlib.min u n_users in
+            evictions.(slot) <- evictions.(slot) + 1;
+            let key = Interner.intern interner page in
+            Heap.remove heap key;
+            Hashtbl.remove next_use_of key;
+            refresh_user ~pos u);
+      })

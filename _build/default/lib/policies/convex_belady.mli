@@ -1,0 +1,6 @@
+(** Cost-aware offline heuristic: evict the page minimising
+    [owner's marginal cost / distance to next use].  Not optimal (no
+    polynomial offline algorithm is known for the convex objective)
+    but a strong OPT upper bound; requires the trace index. *)
+
+val policy : Ccache_sim.Policy.t

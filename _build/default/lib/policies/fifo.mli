@@ -1,0 +1,4 @@
+(** First In First Out: evict the page resident longest, ignoring
+    hits. *)
+
+val policy : Ccache_sim.Policy.t

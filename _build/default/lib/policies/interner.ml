@@ -1,0 +1,37 @@
+(** Page <-> dense-int interner.
+
+    {!Ccache_util.Indexed_heap} keys are ints; policies that keep pages
+    in a heap intern them once and reuse the dense id for the page's
+    lifetime (ids are never recycled — traces touch bounded page sets). *)
+
+open Ccache_trace
+
+type t = {
+  ids : int Page.Tbl.t;
+  mutable pages : Page.t array;
+  mutable count : int;
+}
+
+let create () = { ids = Page.Tbl.create 256; pages = Array.make 16 (Page.make ~user:0 ~id:0); count = 0 }
+
+let intern t page =
+  match Page.Tbl.find_opt t.ids page with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.pages then begin
+        let bigger = Array.make (2 * id) t.pages.(0) in
+        Array.blit t.pages 0 bigger 0 id;
+        t.pages <- bigger
+      end;
+      t.pages.(id) <- page;
+      Page.Tbl.add t.ids page id;
+      t.count <- t.count + 1;
+      id
+
+let page t id =
+  if id < 0 || id >= t.count then invalid_arg "Interner.page: unknown id";
+  t.pages.(id)
+
+let find_opt t page = Page.Tbl.find_opt t.ids page
+let size t = t.count

@@ -1,0 +1,13 @@
+(** Page <-> dense-int interner for policies that keep pages in an
+    {!Ccache_util.Indexed_heap} (whose keys are ints).  Ids are
+    assigned in first-touch order and never recycled. *)
+
+type t
+
+val create : unit -> t
+val intern : t -> Ccache_trace.Page.t -> int
+val page : t -> int -> Ccache_trace.Page.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val find_opt : t -> Ccache_trace.Page.t -> int option
+val size : t -> int

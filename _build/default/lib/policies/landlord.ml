@@ -1,0 +1,71 @@
+(** Landlord / GreedyDual (Young), the deterministic weighted-caching
+    baseline.
+
+    Each cached page holds a credit, set on insertion (and refreshed on
+    hits) to the page's weight.  To evict, decrease every credit by the
+    minimum credit delta and evict a zero-credit page.  With weight
+    [w_i] per user this is k-competitive for weighted caching — the
+    linear special case of the paper's model.
+
+    The uniform credit decrease is implemented with a global offset
+    [level]: stored priority = credit-at-set + level-at-set, current
+    credit = priority - level, so eviction is O(log k).
+
+    Two weight modes make it a cost-aware-but-uncoupled baseline for
+    the experiments (it lacks ALG-DISCRETE's same-user budget bump):
+
+    - [Static]: weight = f_i(1), the cost of the user's first miss;
+    - [Adaptive]: weight = marginal cost f_i(m_i+1) - f_i(m_i) at the
+      user's current eviction count. *)
+
+module Policy = Ccache_sim.Policy
+
+open Ccache_trace
+module Heap = Ccache_util.Indexed_heap
+module Cf = Ccache_cost.Cost_function
+
+type weight_mode = Static | Adaptive
+
+let mode_name = function Static -> "static" | Adaptive -> "adaptive"
+
+let make ~mode =
+  Policy.make
+    ~name:(Printf.sprintf "landlord-%s" (mode_name mode))
+    (fun config ->
+      let interner = Interner.create () in
+      let heap = Heap.create () in
+      let level = ref 0.0 in
+      let evictions = Array.make (config.Policy.Config.n_users + 1) 0 in
+      let weight page =
+        let u = Page.user page in
+        let f = Policy.Config.cost config u in
+        match mode with
+        | Static -> Cf.eval f 1.0
+        | Adaptive ->
+            let m = evictions.(Stdlib.min u config.Policy.Config.n_users) in
+            Cf.eval f (float_of_int (m + 1)) -. Cf.eval f (float_of_int m)
+      in
+      let set_credit page =
+        let key = Interner.intern interner page in
+        Heap.set heap ~key ~prio:(weight page +. !level)
+      in
+      {
+        Policy.on_hit = (fun ~pos:_ page -> set_credit page);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            let key, prio = Heap.peek_exn heap in
+            (* all credits drop by the victim's remaining credit *)
+            level := prio;
+            Interner.page interner key);
+        on_insert = (fun ~pos:_ page -> set_credit page);
+        on_evict =
+          (fun ~pos:_ page ->
+            let u = Page.user page in
+            let slot = Stdlib.min u config.Policy.Config.n_users in
+            evictions.(slot) <- evictions.(slot) + 1;
+            Heap.remove heap (Interner.intern interner page));
+      })
+
+let static = make ~mode:Static
+let adaptive = make ~mode:Adaptive

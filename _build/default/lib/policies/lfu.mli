@@ -1,0 +1,4 @@
+(** Least Frequently Used (in-cache frequency, reset on eviction);
+    deterministic ties by first-touch order. *)
+
+val policy : Ccache_sim.Policy.t

@@ -1,0 +1,4 @@
+(** Least Recently Used — the classical k-competitive policy
+    (Sleator & Tarjan).  Cost-blind; O(1) per event. *)
+
+val policy : Ccache_sim.Policy.t

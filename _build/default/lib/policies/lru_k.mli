@@ -1,0 +1,9 @@
+(** LRU-K (O'Neil, O'Neil & Weikum): evict the page whose K-th most
+    recent reference is oldest; short-history pages go first.
+    Reference history is retained across evictions. *)
+
+val make : k_refs:int -> Ccache_sim.Policy.t
+(** @raise Invalid_argument if [k_refs < 1]. *)
+
+val lru_2 : Ccache_sim.Policy.t
+val lru_3 : Ccache_sim.Policy.t

@@ -1,0 +1,58 @@
+(** Deterministic marking algorithm.
+
+    Pages are marked on access; victims are chosen among unmarked pages
+    (FIFO order within the unmarked set, making the policy
+    deterministic).  When every cached page is marked, a new phase
+    begins: all marks are cleared.  k-competitive, and the phase
+    structure makes it a useful structural contrast to LRU in the
+    experiments. *)
+
+module Policy = Ccache_sim.Policy
+
+open Ccache_trace
+module Dlist = Ccache_util.Dlist
+
+let policy =
+  Policy.make ~name:"marking" (fun _config ->
+      (* unmarked pages in FIFO order; marked pages tracked in a set *)
+      let unmarked = Dlist.create () in
+      let nodes : Page.t Dlist.node Page.Tbl.t = Page.Tbl.create 256 in
+      let marked : unit Page.Tbl.t = Page.Tbl.create 256 in
+      let mark page =
+        (match Page.Tbl.find_opt nodes page with
+        | Some n ->
+            Dlist.remove unmarked n;
+            Page.Tbl.remove nodes page
+        | None -> ());
+        Page.Tbl.replace marked page ()
+      in
+      let new_phase () =
+        (* all marks drop; marked pages become unmarked in deterministic
+           (sorted) order so phase boundaries do not depend on hash order *)
+        let pages = Page.Tbl.fold (fun p () acc -> p :: acc) marked [] in
+        Page.Tbl.reset marked;
+        List.iter
+          (fun p ->
+            let n = Dlist.node p in
+            Page.Tbl.replace nodes p n;
+            Dlist.push_back unmarked n)
+          (List.sort Page.compare pages)
+      in
+      {
+        Policy.on_hit = (fun ~pos:_ page -> mark page);
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            if Dlist.is_empty unmarked then new_phase ();
+            match Dlist.front unmarked with
+            | Some n -> Dlist.value n
+            | None -> invalid_arg "marking: choose_victim on empty cache");
+        on_insert = (fun ~pos:_ page -> mark page);
+        on_evict =
+          (fun ~pos:_ page ->
+            match Page.Tbl.find_opt nodes page with
+            | Some n ->
+                Dlist.remove unmarked n;
+                Page.Tbl.remove nodes page
+            | None -> Page.Tbl.remove marked page);
+      })

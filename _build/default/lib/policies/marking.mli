@@ -1,0 +1,4 @@
+(** Deterministic marking: victims come FIFO from the unmarked set; a
+    new phase clears all marks.  k-competitive. *)
+
+val policy : Ccache_sim.Policy.t

@@ -1,0 +1,49 @@
+(** Uniform-random eviction (deterministically seeded).
+
+    The seed comes from [Config.rng_seed], so runs are reproducible.
+    Maintains a dense array of cached pages with O(1) swap-removal. *)
+
+module Policy = Ccache_sim.Policy
+
+open Ccache_trace
+module Prng = Ccache_util.Prng
+
+let policy =
+  Policy.make ~name:"random" (fun config ->
+      let rng = Prng.create ~seed:config.Policy.Config.rng_seed in
+      let slots : (Page.t, int) Hashtbl.t = Hashtbl.create 256 in
+      let pages = ref (Array.make 16 (Page.make ~user:0 ~id:0)) in
+      let count = ref 0 in
+      let push page =
+        if !count = Array.length !pages then begin
+          let bigger = Array.make (2 * !count) page in
+          Array.blit !pages 0 bigger 0 !count;
+          pages := bigger
+        end;
+        !pages.(!count) <- page;
+        Hashtbl.replace slots page !count;
+        incr count
+      in
+      let remove page =
+        match Hashtbl.find_opt slots page with
+        | None -> invalid_arg ("random: untracked page " ^ Page.to_string page)
+        | Some i ->
+            let last = !count - 1 in
+            if i <> last then begin
+              let moved = !pages.(last) in
+              !pages.(i) <- moved;
+              Hashtbl.replace slots moved i
+            end;
+            Hashtbl.remove slots page;
+            count := last
+      in
+      {
+        Policy.on_hit = Policy.no_hit;
+        wants_evict = Policy.never_evict_early;
+        choose_victim =
+          (fun ~pos:_ ~incoming:_ ->
+            if !count = 0 then invalid_arg "random: choose_victim on empty cache";
+            !pages.(Prng.int rng !count));
+        on_insert = (fun ~pos:_ page -> push page);
+        on_evict = (fun ~pos:_ page -> remove page);
+      })

@@ -1,0 +1,4 @@
+(** Uniform-random eviction, deterministically seeded from
+    [Policy.Config.rng_seed]. *)
+
+val policy : Ccache_sim.Policy.t

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Ccache_trace List Page Policy Printf Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Ccache_cost Ccache_trace Page Policy Trace

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Ccache_cost Ccache_util Engine Float Fmt List

@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Ccache_cost Ccache_util Engine Format

@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Array Ccache_cost Ccache_trace Page Trace

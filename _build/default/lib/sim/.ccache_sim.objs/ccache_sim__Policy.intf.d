@@ -1,0 +1,1 @@
+lib/sim/policy.mli: Ccache_cost Ccache_trace Page Trace

@@ -1,0 +1,1 @@
+lib/sim/windows.ml: Array Ccache_cost Ccache_trace Engine List Stdlib

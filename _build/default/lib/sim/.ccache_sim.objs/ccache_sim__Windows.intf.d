@@ -1,0 +1,1 @@
+lib/sim/windows.mli: Ccache_cost Ccache_trace Engine Policy

@@ -1,0 +1,158 @@
+(** Shared-cache simulation engine.
+
+    Replays a trace against a policy, owning the cache set and all
+    accounting.  Guarantees enforced here, independent of the policy:
+
+    - the cache never exceeds [k] pages;
+    - a victim returned by the policy is actually cached and is not the
+      incoming page;
+    - per-user hit/miss/eviction counts are conserved
+      (hits + misses = requests; per-page insertions = evictions +
+      still-cached).
+
+    The optional [~flush:true] mode implements the paper's terminal
+    dummy user (Section 2.1): k final requests by an infinite-cost user
+    whose pages can never be evicted, forcing every real page out of
+    the cache so that evictions equal misses for the real users.
+    Because the dummy pages are never eviction candidates, the engine
+    realises them without inserting anything: each flush step asks the
+    policy for a victim (only real pages are cached, so any answer is
+    valid) and evicts it — observationally identical to pinning
+    infinite-cost dummy pages, and it works for every policy
+    unmodified. *)
+
+open Ccache_trace
+
+type event =
+  | Hit of { pos : int; page : Page.t }
+  | Miss_insert of { pos : int; page : Page.t }
+      (** compulsory or capacity-free miss: inserted without eviction *)
+  | Miss_evict of { pos : int; page : Page.t; victim : Page.t }
+
+let event_pos = function
+  | Hit { pos; _ } | Miss_insert { pos; _ } | Miss_evict { pos; _ } -> pos
+
+type result = {
+  policy : string;
+  k : int;
+  trace_length : int;
+  n_users : int;  (** real users, excluding any flush dummy *)
+  hits : int;
+  misses_per_user : int array;
+  evictions_per_user : int array;
+  final_cache : Page.t list;
+}
+
+let misses r = Array.fold_left ( + ) 0 r.misses_per_user
+let evictions r = Array.fold_left ( + ) 0 r.evictions_per_user
+
+let miss_ratio r =
+  if r.trace_length = 0 then 0.0
+  else float_of_int (misses r) /. float_of_int r.trace_length
+
+exception Policy_error of string
+
+let policy_error fmt = Printf.ksprintf (fun s -> raise (Policy_error s)) fmt
+
+(** Run [policy] on [trace] with cache size [k] and per-user [costs].
+
+    @param flush append the terminal dummy-user flush (default false).
+    @param on_event called for every decision, in trace order.
+    @param index reuse a prebuilt index (otherwise built on demand only
+           if the policy needs the future). *)
+let run ?(flush = false) ?on_event ?index ~k ~costs policy trace =
+  let real_users = Trace.n_users trace in
+  if Array.length costs <> real_users then
+    invalid_arg "Engine.run: costs array must have one entry per user";
+  let index =
+    match index with
+    | Some idx -> Some idx
+    | None -> if Policy.needs_future policy then Some (Trace.Index.build trace) else None
+  in
+  let config = Policy.Config.make ?index ~k ~costs () in
+  let h = Policy.instantiate policy config in
+  let cached = Page.Tbl.create (2 * k) in
+  let n_accounts = Trace.n_users trace in
+  let misses_per_user = Array.make n_accounts 0 in
+  let evictions_per_user = Array.make n_accounts 0 in
+  let hits = ref 0 in
+  let emit ev = match on_event with Some f -> f ev | None -> () in
+  let n = Trace.length trace in
+  for pos = 0 to n - 1 do
+    let page = Trace.request trace pos in
+    if Page.Tbl.mem cached page then begin
+      incr hits;
+      h.Policy.on_hit ~pos page;
+      emit (Hit { pos; page })
+    end
+    else begin
+      misses_per_user.(Page.user page) <- misses_per_user.(Page.user page) + 1;
+      let occupancy = Page.Tbl.length cached in
+      if occupancy >= k || (occupancy > 0 && h.Policy.wants_evict ~pos ~incoming:page)
+      then begin
+        let victim = h.Policy.choose_victim ~pos ~incoming:page in
+        if not (Page.Tbl.mem cached victim) then
+          policy_error "%s: victim %s is not cached (pos %d)" (Policy.name policy)
+            (Page.to_string victim) pos;
+        if Page.equal victim page then
+          policy_error "%s: victim equals incoming page %s (pos %d)"
+            (Policy.name policy) (Page.to_string page) pos;
+        Page.Tbl.remove cached victim;
+        evictions_per_user.(Page.user victim) <-
+          evictions_per_user.(Page.user victim) + 1;
+        h.Policy.on_evict ~pos victim;
+        Page.Tbl.replace cached page ();
+        h.Policy.on_insert ~pos page;
+        emit (Miss_evict { pos; page; victim })
+      end
+      else begin
+        Page.Tbl.replace cached page ();
+        h.Policy.on_insert ~pos page;
+        emit (Miss_insert { pos; page })
+      end;
+      if Page.Tbl.length cached > k then
+        policy_error "%s: cache exceeded k=%d (pos %d)" (Policy.name policy) k pos
+    end
+  done;
+  (* Terminal flush: the dummy user's k requests evict every remaining
+     real page; dummy pages are pinned so they are never inserted. *)
+  if flush then begin
+    for step = 0 to k - 1 do
+      if Page.Tbl.length cached > 0 then begin
+        let pos = n + step in
+        let dummy = Page.make ~user:real_users ~id:step in
+        let victim = h.Policy.choose_victim ~pos ~incoming:dummy in
+        if not (Page.Tbl.mem cached victim) then
+          policy_error "%s: flush victim %s is not cached" (Policy.name policy)
+            (Page.to_string victim);
+        Page.Tbl.remove cached victim;
+        evictions_per_user.(Page.user victim) <-
+          evictions_per_user.(Page.user victim) + 1;
+        h.Policy.on_evict ~pos victim;
+        emit (Miss_evict { pos; page = dummy; victim })
+      end
+    done;
+    if Page.Tbl.length cached > 0 then
+      policy_error "%s: flush left %d pages cached (need k >= cache)"
+        (Policy.name policy) (Page.Tbl.length cached)
+  end;
+  let final_cache = Page.Tbl.fold (fun p () acc -> p :: acc) cached [] in
+  {
+    policy = Policy.name policy;
+    k;
+    trace_length = Trace.length trace;
+    n_users = real_users;
+    hits = !hits;
+    misses_per_user;
+    evictions_per_user;
+    final_cache = List.sort Page.compare final_cache;
+  }
+
+(** Run and also collect the full decision log (for invariant checking
+    and tests). *)
+let run_logged ?flush ?index ~k ~costs policy trace =
+  let log = ref [] in
+  let result =
+    run ?flush ?index ~on_event:(fun ev -> log := ev :: !log) ~k ~costs policy trace
+  in
+  (result, List.rev !log)

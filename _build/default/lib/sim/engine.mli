@@ -1,0 +1,71 @@
+(** Shared-cache simulation engine.
+
+    Replays a trace against a policy, owning the cache set and all
+    accounting.  Guarantees enforced here, independent of the policy:
+    the cache never exceeds [k] pages; victims are actually cached and
+    never the incoming page; per-user hit/miss/eviction counts are
+    conserved.  Violations raise {!Policy_error}.
+
+    The optional [~flush:true] mode implements the paper's terminal
+    dummy user (Section 2.1): k final requests by an infinite-cost
+    user whose pages can never be evicted, forcing every real page out
+    so that evictions equal misses per user.  Because dummy pages are
+    never eviction candidates, the engine realises them without
+    inserting anything — observationally identical to pinning
+    infinite-cost pages, and it works for every policy unmodified. *)
+
+open Ccache_trace
+
+type event =
+  | Hit of { pos : int; page : Page.t }
+  | Miss_insert of { pos : int; page : Page.t }
+      (** miss absorbed without eviction *)
+  | Miss_evict of { pos : int; page : Page.t; victim : Page.t }
+
+val event_pos : event -> int
+
+type result = {
+  policy : string;
+  k : int;
+  trace_length : int;
+  n_users : int;
+  hits : int;
+  misses_per_user : int array;
+  evictions_per_user : int array;
+  final_cache : Page.t list;  (** sorted; empty after a flush *)
+}
+
+val misses : result -> int
+val evictions : result -> int
+val miss_ratio : result -> float
+
+exception Policy_error of string
+
+val run :
+  ?flush:bool ->
+  ?on_event:(event -> unit) ->
+  ?index:Trace.Index.t ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  Policy.t ->
+  Trace.t ->
+  result
+(** [run ~k ~costs policy trace] replays [trace].
+
+    @param flush terminal dummy-user flush (default false)
+    @param on_event called for every decision, in trace order
+    @param index reuse a prebuilt index (otherwise built on demand for
+           offline policies)
+    @raise Invalid_argument if [costs] has not exactly one entry per
+           user
+    @raise Policy_error if the policy misbehaves *)
+
+val run_logged :
+  ?flush:bool ->
+  ?index:Trace.Index.t ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  Policy.t ->
+  Trace.t ->
+  result * event list
+(** {!run} plus the full decision log. *)

@@ -1,0 +1,36 @@
+(** Parameter-sweep helpers for experiments and benches. *)
+
+(** Cartesian product of two parameter lists. *)
+let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let product3 xs ys zs =
+  List.concat_map (fun x -> List.map (fun (y, z) -> (x, y, z)) (product ys zs)) xs
+
+(** Geometric range [start, start*factor, ...] not exceeding [stop]. *)
+let geometric ~start ~stop ~factor =
+  if start <= 0 || stop < start then invalid_arg "Sweep.geometric: bad range";
+  if factor <= 1.0 then invalid_arg "Sweep.geometric: factor must exceed 1";
+  let rec go acc v =
+    if v > stop then List.rev acc
+    else
+      let next =
+        Stdlib.max (v + 1) (int_of_float (Float.round (float_of_int v *. factor)))
+      in
+      go (v :: acc) next
+  in
+  go [] start
+
+(** Inclusive arithmetic range with step. *)
+let arithmetic ~start ~stop ~step =
+  if step <= 0 then invalid_arg "Sweep.arithmetic: step must be positive";
+  let rec go acc v = if v > stop then List.rev acc else go (v :: acc) (v + step) in
+  go [] start
+
+(** Evenly spaced floats, inclusive of both endpoints. *)
+let linspace ~start ~stop ~count =
+  if count < 2 then invalid_arg "Sweep.linspace: count must be >= 2";
+  List.init count (fun i ->
+      start +. ((stop -. start) *. float_of_int i /. float_of_int (count - 1)))
+
+(** Map with the sweep point available for labelling. *)
+let run points ~f = List.map (fun p -> (p, f p)) points

@@ -1,0 +1,14 @@
+(** Parameter-sweep helpers for experiments and benches. *)
+
+val product : 'a list -> 'b list -> ('a * 'b) list
+val product3 : 'a list -> 'b list -> 'c list -> ('a * 'b * 'c) list
+
+val geometric : start:int -> stop:int -> factor:float -> int list
+(** Rounded geometric range, strictly increasing, not exceeding
+    [stop]. @raise Invalid_argument on a bad range or [factor <= 1]. *)
+
+val arithmetic : start:int -> stop:int -> step:int -> int list
+val linspace : start:float -> stop:float -> count:int -> float list
+
+val run : 'a list -> f:('a -> 'b) -> ('a * 'b) list
+(** Map keeping the sweep point for labelling. *)

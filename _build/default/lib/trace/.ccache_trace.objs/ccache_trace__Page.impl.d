@@ -1,0 +1,1 @@
+lib/trace/page.ml: Fmt Hashtbl Int Map Printf Set String

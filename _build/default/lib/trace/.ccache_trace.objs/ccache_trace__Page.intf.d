@@ -1,0 +1,1 @@
+lib/trace/page.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/trace/trace_stats.ml: Array Ccache_util Fmt List Page Stdlib Trace

@@ -1,0 +1,1 @@
+lib/trace/trace_stats.mli: Ccache_util Format Trace

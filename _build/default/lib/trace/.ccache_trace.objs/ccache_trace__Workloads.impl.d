@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: Array Ccache_util List Page Stdlib Trace Zipf

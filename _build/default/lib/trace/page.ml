@@ -1,0 +1,51 @@
+(** Pages and their owning users.
+
+    Every page belongs to exactly one user (the paper's [P_i] partition).
+    User ids are dense integers [0 .. n-1]; page ids are arbitrary
+    non-negative integers, unique within a user. *)
+
+type t = { user : int; id : int }
+
+let make ~user ~id =
+  if user < 0 then invalid_arg "Page.make: negative user";
+  if id < 0 then invalid_arg "Page.make: negative id";
+  { user; id }
+
+let user t = t.user
+let id t = t.id
+
+let compare a b =
+  let c = Int.compare a.user b.user in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let equal a b = a.user = b.user && a.id = b.id
+
+let hash t = (t.user * 0x9E3779B1) lxor t.id
+
+let pp ppf t = Fmt.pf ppf "u%d:p%d" t.user t.id
+
+let to_string t = Printf.sprintf "u%d:p%d" t.user t.id
+
+(** Parse the [uU:pI] form produced by {!to_string}/{!pp}. *)
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ u; p ]
+    when String.length u > 1 && u.[0] = 'u' && String.length p > 1 && p.[0] = 'p' ->
+      (try
+         let user = int_of_string (String.sub u 1 (String.length u - 1)) in
+         let id = int_of_string (String.sub p 1 (String.length p - 1)) in
+         Some (make ~user ~id)
+       with Invalid_argument _ | Failure _ -> None)
+  | _ -> None
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)

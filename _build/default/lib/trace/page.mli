@@ -1,0 +1,31 @@
+(** Pages and their owning users.
+
+    Every page belongs to exactly one user (the paper's [P_i]
+    partition).  User ids are dense integers [0 .. n-1]; page ids are
+    arbitrary non-negative integers, unique within a user. *)
+
+type t = private { user : int; id : int }
+
+val make : user:int -> id:int -> t
+(** @raise Invalid_argument on negative components. *)
+
+val user : t -> int
+val id : t -> int
+
+val compare : t -> t -> int
+(** Orders by user, then id — the deterministic tie-break order used
+    throughout the algorithms. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Parses the ["u<user>:p<id>"] form produced by {!to_string}. *)
+
+module Key : Hashtbl.HashedType with type t = t
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,134 @@
+(** Request sequences and their static index.
+
+    A trace is the online input sigma = (p_1, ..., p_T).  Besides the raw
+    sequence, the convex program and the offline algorithms need the
+    bookkeeping the paper defines in Section 2:
+
+    - [r(p,t)]     — number of requests of page p up to time t,
+    - [j(p,t)]     — interval index of p at time t,
+    - [B(t)]       — set of distinct pages requested up to time t,
+    - next/previous use positions (for Belady-style policies).
+
+    [Index.build] precomputes all of these in O(T) once per trace.
+    Positions are 0-based throughout the code base; the paper's t runs
+    from 1, so position [t-1] here corresponds to the paper's time t. *)
+
+type t = {
+  requests : Page.t array;
+  n_users : int;
+}
+
+let length t = Array.length t.requests
+let n_users t = t.n_users
+let request t pos = t.requests.(pos)
+let requests t = t.requests
+
+let of_pages ~n_users pages =
+  if n_users <= 0 then invalid_arg "Trace.of_pages: need at least one user";
+  Array.iter
+    (fun p ->
+      if Page.user p < 0 || Page.user p >= n_users then
+        invalid_arg
+          (Printf.sprintf "Trace.of_pages: page %s outside user range [0,%d)"
+             (Page.to_string p) n_users))
+    pages;
+  { requests = Array.copy pages; n_users }
+
+let of_list ~n_users pages = of_pages ~n_users (Array.of_list pages)
+
+(** Concatenate traces over the same user universe. *)
+let append a b =
+  if a.n_users <> b.n_users then invalid_arg "Trace.append: user-count mismatch";
+  { requests = Array.append a.requests b.requests; n_users = a.n_users }
+
+(** Distinct pages, in first-touch order. *)
+let distinct_pages t =
+  let seen = Page.Tbl.create 256 in
+  let acc = ref [] in
+  Array.iter
+    (fun p ->
+      if not (Page.Tbl.mem seen p) then begin
+        Page.Tbl.add seen p ();
+        acc := p :: !acc
+      end)
+    t.requests;
+  List.rev !acc
+
+(** Append the paper's terminal flush: a dummy user owning [k] fresh
+    pages, all requested once at the end, forcing every real page out of
+    a size-k cache.  The dummy user gets id [n_users] (so the result has
+    [n_users + 1] users); its cost function should be zero. *)
+let with_flush ~k t =
+  if k <= 0 then invalid_arg "Trace.with_flush: k must be positive";
+  let dummy = Array.init k (fun i -> Page.make ~user:t.n_users ~id:i) in
+  { requests = Array.append t.requests dummy; n_users = t.n_users + 1 }
+
+module Index = struct
+  type trace = t
+
+  type t = {
+    trace : trace;
+    interval : int array;
+        (** [interval.(pos)] = j(p,pos): 1-based index of this request
+            among all requests of the same page. *)
+    next_use : int array;
+        (** position of the next request of the same page, or
+            [Int.max_int] if none. *)
+    prev_use : int array;
+        (** position of the previous request of the same page, or [-1]. *)
+    distinct_upto : int array;
+        (** [distinct_upto.(pos)] = |B(t)| after including this request. *)
+    total_requests : int Page.Tbl.t;  (** r(p,T) per page *)
+    first_use : int Page.Tbl.t;  (** first position of each page *)
+  }
+
+  let build trace =
+    let n = Array.length trace.requests in
+    let interval = Array.make n 0 in
+    let next_use = Array.make n Int.max_int in
+    let prev_use = Array.make n (-1) in
+    let distinct_upto = Array.make n 0 in
+    let counts = Page.Tbl.create 256 in
+    let last_pos = Page.Tbl.create 256 in
+    let first_use = Page.Tbl.create 256 in
+    let distinct = ref 0 in
+    for pos = 0 to n - 1 do
+      let p = trace.requests.(pos) in
+      let c = Option.value (Page.Tbl.find_opt counts p) ~default:0 in
+      Page.Tbl.replace counts p (c + 1);
+      interval.(pos) <- c + 1;
+      (match Page.Tbl.find_opt last_pos p with
+      | Some prev ->
+          next_use.(prev) <- pos;
+          prev_use.(pos) <- prev
+      | None ->
+          incr distinct;
+          Page.Tbl.add first_use p pos);
+      Page.Tbl.replace last_pos p pos;
+      distinct_upto.(pos) <- !distinct
+    done;
+    { trace; interval; next_use; prev_use; distinct_upto; total_requests = counts; first_use }
+
+    let trace t = t.trace
+    let length t = Array.length t.trace.requests
+
+    (** j(p, pos): which interval of page p the position falls in. *)
+    let interval_index t pos = t.interval.(pos)
+
+    let next_use t pos = t.next_use.(pos)
+    let prev_use t pos = t.prev_use.(pos)
+    let distinct_upto t pos = t.distinct_upto.(pos)
+
+    (** r(p, T): total number of requests of [page] in the whole trace. *)
+    let total_requests t page =
+      Option.value (Page.Tbl.find_opt t.total_requests page) ~default:0
+
+    let first_use t page = Page.Tbl.find_opt t.first_use page
+
+    (** Is [pos] the last request of its page? *)
+    let is_last_request t pos = t.next_use.(pos) = Int.max_int
+end
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>trace: T=%d users=%d distinct=%d@]" (length t) t.n_users
+    (List.length (distinct_pages t))

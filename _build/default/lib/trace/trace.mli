@@ -1,0 +1,72 @@
+(** Request sequences and their static index.
+
+    A trace is the online input sigma = (p_1, ..., p_T).  Positions are
+    0-based throughout the code base; the paper's time t corresponds to
+    position [t - 1].  {!Index.build} precomputes in O(T) the
+    bookkeeping of paper Section 2: interval indices [j(p,t)], distinct
+    counts [|B(t)|], request totals [r(p,t)] and next/previous-use
+    links (the latter also power Belady-style offline policies). *)
+
+type t
+
+val length : t -> int
+val n_users : t -> int
+
+val request : t -> int -> Page.t
+(** Request at a 0-based position. *)
+
+val requests : t -> Page.t array
+(** The raw sequence (do not mutate). *)
+
+val of_pages : n_users:int -> Page.t array -> t
+(** Copies the array. @raise Invalid_argument if any page's user is
+    outside [\[0, n_users)]. *)
+
+val of_list : n_users:int -> Page.t list -> t
+
+val append : t -> t -> t
+(** Concatenation; both traces must agree on [n_users]. *)
+
+val distinct_pages : t -> Page.t list
+(** In first-touch order. *)
+
+val with_flush : k:int -> t -> t
+(** The paper's terminal flush (Section 2.1): appends one request to
+    each of [k] fresh pages owned by a new dummy user (id = previous
+    [n_users]); the result has one more user.  The dummy's cost is
+    infinite in the paper — the engine and the convex program pin its
+    pages instead (see {!Ccache_sim.Engine.run} and
+    {!Ccache_cp.Formulation.of_trace}). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Index : sig
+  type trace := t
+  type t
+
+  val build : trace -> t
+  (** O(T) single pass. *)
+
+  val trace : t -> trace
+  val length : t -> int
+
+  val interval_index : t -> int -> int
+  (** [interval_index t pos] = j(p, pos): 1-based rank of this request
+      among all requests of the same page. *)
+
+  val next_use : t -> int -> int
+  (** Position of the next request of the same page, or [Int.max_int]. *)
+
+  val prev_use : t -> int -> int
+  (** Position of the previous request of the same page, or [-1]. *)
+
+  val distinct_upto : t -> int -> int
+  (** [|B(t)|] after including the request at this position. *)
+
+  val total_requests : t -> Page.t -> int
+  (** r(p, T); 0 for pages never requested. *)
+
+  val first_use : t -> Page.t -> int option
+
+  val is_last_request : t -> int -> bool
+end

@@ -1,0 +1,96 @@
+(** Plain-text trace serialisation.
+
+    Format (line-oriented, '#' comments allowed):
+    {v
+    # convex-caching trace v1
+    users <n>
+    <user> <page>
+    <user> <page>
+    ...
+    v}
+    The header line and [users] directive are mandatory; each following
+    non-comment line is one request. *)
+
+let magic = "# convex-caching trace v1"
+
+let write_channel oc trace =
+  output_string oc magic;
+  output_char oc '\n';
+  Printf.fprintf oc "users %d\n" (Trace.n_users trace);
+  Array.iter
+    (fun p -> Printf.fprintf oc "%d %d\n" (Page.user p) (Page.id p))
+    (Trace.requests trace)
+
+let write_file path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel oc trace)
+
+let to_string trace =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "users %d\n" (Trace.n_users trace));
+  Array.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "%d %d\n" (Page.user p) (Page.id p)))
+    (Trace.requests trace);
+  Buffer.contents buf
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line message = raise (Parse_error { line; message })
+
+let is_comment line = String.length line > 0 && line.[0] = '#'
+
+let parse_lines lines =
+  let n_users = ref None in
+  let requests = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || is_comment line then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "users"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n > 0 ->
+                if !n_users <> None then parse_error lineno "duplicate users directive";
+                n_users := Some n
+            | _ -> parse_error lineno "invalid user count")
+        | [ u; p ] -> (
+            match (int_of_string_opt u, int_of_string_opt p) with
+            | Some u, Some p when u >= 0 && p >= 0 ->
+                requests := (u, p) :: !requests
+            | _ -> parse_error lineno "invalid request line")
+        | _ -> parse_error lineno ("unrecognised line: " ^ line))
+    lines;
+  match !n_users with
+  | None -> parse_error 0 "missing users directive"
+  | Some n_users ->
+      let reqs =
+        List.rev_map (fun (user, id) -> Page.make ~user ~id) !requests
+      in
+      (try Trace.of_list ~n_users reqs
+       with Invalid_argument msg -> parse_error 0 msg)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | first :: _ when String.trim first = magic -> ()
+  | _ -> parse_error 1 "missing or wrong magic header");
+  parse_lines lines
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 4096
+         done
+       with End_of_file -> ());
+      of_string (Buffer.contents buf))

@@ -1,0 +1,22 @@
+(** Plain-text trace serialisation.
+
+    Line-oriented format ('#' comments and blank lines allowed):
+    {v
+    # convex-caching trace v1
+    users <n>
+    <user> <page>
+    ...
+    v} *)
+
+val magic : string
+(** The mandatory first line. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t
+(** @raise Parse_error on malformed input. *)
+
+val write_channel : out_channel -> Trace.t -> unit
+val write_file : string -> Trace.t -> unit
+val read_file : string -> Trace.t

@@ -1,0 +1,26 @@
+(** Descriptive statistics of a trace: per-tenant footprints, request
+    shares, compulsory misses and reuse distances.  Used by reports
+    and by tests that sanity-check the generators. *)
+
+type per_user = { user : int; requests : int; distinct_pages : int }
+
+type t = {
+  length : int;
+  n_users : int;
+  distinct_pages : int;
+  per_user : per_user array;
+  cold_misses : int;  (** first-touch requests = compulsory misses *)
+}
+
+val compute : Trace.t -> t
+
+val reuse_distances : Trace.t -> float array
+(** Per non-first request: distinct pages referenced strictly between
+    consecutive uses of the same page (infinite-cache stack
+    distances).  Quadratic sweep — intended for analysis-scale traces. *)
+
+val max_hit_ratio : t -> float
+(** 1 - compulsory miss rate: the best any cache could do. *)
+
+val pp : Format.formatter -> t -> unit
+val to_table : t -> Ccache_util.Ascii_table.t

@@ -1,0 +1,148 @@
+(** Intrusive doubly-linked list with O(1) splicing.
+
+    Backbone of the LRU/FIFO/LRU-K recency structures: nodes are exposed
+    so a policy can keep a hashtable from page to node and move/remove a
+    node in O(1) without search. *)
+
+type 'a node = {
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable owner : int;
+      (* identity of the list currently containing the node; 0 = detached.
+         Guards against cross-list splicing bugs. *)
+}
+
+type 'a t = {
+  id : int;
+  mutable front : 'a node option;
+  mutable back : 'a node option;
+  mutable size : int;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { id = !next_id; front = None; back = None; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let node value = { value; prev = None; next = None; owner = 0 }
+
+let value n = n.value
+
+let check_member t n name =
+  if n.owner <> t.id then invalid_arg (name ^ ": node not in this list")
+
+let check_detached n name =
+  if n.owner <> 0 then invalid_arg (name ^ ": node already in a list")
+
+(** Insert a detached node at the front. *)
+let push_front t n =
+  check_detached n "Dlist.push_front";
+  n.owner <- t.id;
+  n.prev <- None;
+  n.next <- t.front;
+  (match t.front with
+  | Some f -> f.prev <- Some n
+  | None -> t.back <- Some n);
+  t.front <- Some n;
+  t.size <- t.size + 1
+
+(** Insert a detached node at the back. *)
+let push_back t n =
+  check_detached n "Dlist.push_back";
+  n.owner <- t.id;
+  n.next <- None;
+  n.prev <- t.back;
+  (match t.back with
+  | Some b -> b.next <- Some n
+  | None -> t.front <- Some n);
+  t.back <- Some n;
+  t.size <- t.size + 1
+
+(** Detach a node from the list; the node may be reinserted later. *)
+let remove t n =
+  check_member t n "Dlist.remove";
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.front <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  n.owner <- 0;
+  t.size <- t.size - 1
+
+let front t = t.front
+let back t = t.back
+
+let pop_front t =
+  match t.front with
+  | None -> None
+  | Some n ->
+      remove t n;
+      Some n
+
+let pop_back t =
+  match t.back with
+  | None -> None
+  | Some n ->
+      remove t n;
+      Some n
+
+(** Move an existing member node to the front (LRU "touch"). *)
+let move_to_front t n =
+  check_member t n "Dlist.move_to_front";
+  if t.front != Some n then begin
+    remove t n;
+    push_front t n
+  end
+
+let move_to_back t n =
+  check_member t n "Dlist.move_to_back";
+  if t.back != Some n then begin
+    remove t n;
+    push_back t n
+  end
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.value;
+        go n.next
+  in
+  go t.front
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+(** Front-to-back element list. *)
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+(** Internal consistency check, used by tests. *)
+let invariant_ok t =
+  let same a b =
+    match a, b with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | _ -> false
+  in
+  let rec go prev node count =
+    match node with
+    | None -> same t.back prev && count = t.size
+    | Some n ->
+        n.owner = t.id
+        && (match n.prev, prev with
+           | None, None -> same t.front (Some n)
+           | Some p, Some q -> p == q
+           | _ -> false)
+        && go (Some n) n.next (count + 1)
+  in
+  go None t.front 0

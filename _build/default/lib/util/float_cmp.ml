@@ -1,0 +1,31 @@
+(** Tolerant float comparison.
+
+    The dual-variable bookkeeping in ALG-CONT accumulates sums of budget
+    increments; invariant checks compare those sums against analytic
+    derivatives, so all equality tests go through these helpers with a
+    combined absolute/relative tolerance. *)
+
+let default_tol = 1e-9
+
+(** [approx_eq ~tol a b] is true when [|a-b| <= tol * max(1,|a|,|b|)]. *)
+let approx_eq ?(tol = default_tol) a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol *. scale
+
+(** [a <= b] up to tolerance. *)
+let approx_le ?(tol = default_tol) a b =
+  a <= b || approx_eq ~tol a b
+
+(** [a >= b] up to tolerance. *)
+let approx_ge ?(tol = default_tol) a b =
+  a >= b || approx_eq ~tol a b
+
+(** True when [a] is zero up to absolute tolerance. *)
+let approx_zero ?(tol = default_tol) a = Float.abs a <= tol
+
+(** Signed relative error of [measured] against [expected]. *)
+let relative_error ~expected ~measured =
+  if expected = 0.0 then Float.abs measured
+  else Float.abs (measured -. expected) /. Float.abs expected
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)

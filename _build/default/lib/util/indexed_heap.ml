@@ -1,0 +1,155 @@
+(** Binary min-heap over integer keys with float priorities and
+    O(log n) arbitrary update/removal via a key->slot index.
+
+    Used by the fast ALG-DISCRETE implementation (per-user budget heaps
+    and the cross-user minimum structure) and by priority-based eviction
+    policies (Landlord, Convex-Belady).
+
+    Ties are broken by the smaller key, making every operation fully
+    deterministic regardless of insertion order history. *)
+
+type entry = { key : int; mutable prio : float }
+
+type t = {
+  mutable data : entry array; (* slots [0, size) are live *)
+  mutable size : int;
+  slots : (int, int) Hashtbl.t; (* key -> slot *)
+}
+
+let dummy = { key = min_int; prio = nan }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (Stdlib.max capacity 1) dummy; size = 0; slots = Hashtbl.create 64 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let mem t key = Hashtbl.mem t.slots key
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.key < b.key)
+
+let set_slot t i e =
+  t.data.(i) <- e;
+  Hashtbl.replace t.slots e.key i
+
+let swap t i j =
+  let a = t.data.(i) and b = t.data.(j) in
+  set_slot t i b;
+  set_slot t j a
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) dummy in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+(** Insert a fresh key. Raises if the key is already present. *)
+let add t ~key ~prio =
+  if Hashtbl.mem t.slots key then invalid_arg "Indexed_heap.add: duplicate key";
+  if t.size = Array.length t.data then grow t;
+  let e = { key; prio } in
+  set_slot t t.size e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let find_slot t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some i -> i
+  | None -> raise Not_found
+
+(** Current priority of [key]. Raises [Not_found] if absent. *)
+let priority t key = t.data.(find_slot t key).prio
+
+(** Minimum entry without removing it. *)
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).prio)
+
+let peek_exn t =
+  match peek t with
+  | Some kp -> kp
+  | None -> invalid_arg "Indexed_heap.peek_exn: empty heap"
+
+let remove_slot t i =
+  let last = t.size - 1 in
+  let removed = t.data.(i) in
+  Hashtbl.remove t.slots removed.key;
+  if i <> last then begin
+    let moved = t.data.(last) in
+    set_slot t i moved;
+    t.data.(last) <- dummy;
+    t.size <- last;
+    sift_down t i;
+    sift_up t i
+  end
+  else begin
+    t.data.(last) <- dummy;
+    t.size <- last
+  end
+
+(** Remove and return the minimum. *)
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let k = t.data.(0).key and p = t.data.(0).prio in
+    remove_slot t 0;
+    Some (k, p)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some kp -> kp
+  | None -> invalid_arg "Indexed_heap.pop_exn: empty heap"
+
+(** Remove an arbitrary key. Raises [Not_found] if absent. *)
+let remove t key = remove_slot t (find_slot t key)
+
+(** Set the priority of an existing key (increase or decrease). *)
+let update t ~key ~prio =
+  let i = find_slot t key in
+  t.data.(i).prio <- prio;
+  sift_down t i;
+  sift_up t i
+
+(** Insert or update. *)
+let set t ~key ~prio =
+  if mem t key then update t ~key ~prio else add t ~key ~prio
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i).key t.data.(i).prio
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k p -> acc := (k, p) :: !acc) t;
+  List.rev !acc
+
+(** Heap-order and index consistency; used by tests. *)
+let invariant_ok t =
+  let ok = ref (Hashtbl.length t.slots = t.size) in
+  for i = 1 to t.size - 1 do
+    if less t.data.(i) t.data.((i - 1) / 2) then ok := false
+  done;
+  for i = 0 to t.size - 1 do
+    match Hashtbl.find_opt t.slots t.data.(i).key with
+    | Some j when j = i -> ()
+    | _ -> ok := false
+  done;
+  !ok

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Ccache_analysis Ccache_cost Ccache_offline Ccache_trace Float List Option String

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Ccache_cost Float Gen List Printf QCheck QCheck_alcotest

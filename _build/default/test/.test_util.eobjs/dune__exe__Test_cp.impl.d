@@ -1,0 +1,1 @@
+test/test_cp.ml: Alcotest Array Ccache_cost Ccache_cp Ccache_offline Ccache_policies Ccache_sim Ccache_trace Ccache_util Float Gen List Page Printf QCheck QCheck_alcotest Trace Workloads

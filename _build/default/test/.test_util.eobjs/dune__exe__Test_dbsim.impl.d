@@ -1,0 +1,1 @@
+test/test_dbsim.ml: Alcotest Array Ccache_cost Ccache_dbsim Ccache_policies Ccache_sim Ccache_trace List Option Page Trace

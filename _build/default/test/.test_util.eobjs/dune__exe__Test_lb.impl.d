@@ -1,0 +1,1 @@
+test/test_lb.ml: Alcotest Array Ccache_core Ccache_cost Ccache_lb Ccache_policies Ccache_sim Ccache_trace List Page Printf Trace

@@ -1,0 +1,1 @@
+test/test_multipool.ml: Alcotest Array Ccache_core Ccache_cost Ccache_multipool Ccache_policies Ccache_sim Ccache_trace List Printf Workloads

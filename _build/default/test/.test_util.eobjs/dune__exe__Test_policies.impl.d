@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Ccache_cost Ccache_offline Ccache_policies Ccache_sim Ccache_trace Ccache_util List Option Page Trace Workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ccache_cost Ccache_policies Ccache_sim Ccache_trace Ccache_util List Page QCheck QCheck_alcotest String Trace Workloads

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Ccache_trace Ccache_util Filename Float Fun List Page QCheck QCheck_alcotest Sys Trace Trace_io Trace_stats Workloads Zipf

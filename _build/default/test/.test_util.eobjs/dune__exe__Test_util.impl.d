@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ccache_util Float Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,143 @@
+(* Tests for ccache_multipool: the future-work multi-pool engine. *)
+
+open Ccache_trace
+module ME = Ccache_multipool.Multi_engine
+module Engine = Ccache_sim.Engine
+module Cf = Ccache_cost.Cost_function
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let costs_of n = Array.init n (fun _ -> Cf.monomial ~beta:2.0 ())
+
+let workload ~seed ~tenants ~length =
+  Workloads.generate ~seed ~length
+    (Workloads.symmetric_zipf ~tenants ~pages_per_tenant:24 ~skew:0.8)
+
+let test_single_pool_equals_engine () =
+  (* 1 pool with static assignment behaves exactly like the plain
+     engine running the same policy *)
+  let t = workload ~seed:1 ~tenants:3 ~length:800 in
+  let costs = costs_of 3 in
+  let shared = Engine.run ~k:16 ~costs Ccache_core.Alg_discrete.policy t in
+  let mp =
+    ME.run ~pools:1 ~pool_size:16 ~strategy:ME.Static_round_robin ~costs t
+  in
+  checkb "same miss vector" true
+    (shared.Engine.misses_per_user = mp.ME.misses_per_user);
+  checki "no migrations" 0 mp.ME.migrations
+
+let test_partitioning_never_helps () =
+  (* splitting the same total memory across pools cannot beat sharing *)
+  let t = workload ~seed:2 ~tenants:4 ~length:1200 in
+  let costs = costs_of 4 in
+  let shared = Engine.run ~k:32 ~costs Ccache_core.Alg_discrete.policy t in
+  let shared_cost = Ccache_sim.Metrics.total_cost ~costs shared in
+  List.iter
+    (fun pools ->
+      let mp =
+        ME.run ~pools ~pool_size:(32 / pools) ~strategy:ME.Static_round_robin
+          ~costs t
+      in
+      checkb
+        (Printf.sprintf "%d pools not cheaper" pools)
+        true
+        (mp.ME.total_cost >= shared_cost -. 1e-9))
+    [ 2; 4 ]
+
+let test_rebalance_repairs_bad_assignment () =
+  let t = workload ~seed:3 ~tenants:4 ~length:2000 in
+  let costs = costs_of 4 in
+  let all_on_zero = Array.make 4 0 in
+  let static =
+    ME.run ~initial_assignment:all_on_zero ~pools:2 ~pool_size:12
+      ~strategy:ME.Static_round_robin ~costs t
+  in
+  let greedy =
+    ME.run ~initial_assignment:all_on_zero ~pools:2 ~pool_size:12
+      ~strategy:(ME.Greedy_cost { rebalance_every = 200; switch_cost = 0.0 })
+      ~costs t
+  in
+  checkb "greedy migrates" true (greedy.ME.migrations > 0);
+  checkb "greedy cheaper than stuck-static" true
+    (greedy.ME.total_cost < static.ME.total_cost)
+
+let test_huge_switch_cost_freezes () =
+  let t = workload ~seed:4 ~tenants:4 ~length:1000 in
+  let costs = costs_of 4 in
+  let frozen =
+    ME.run
+      ~initial_assignment:(Array.make 4 0)
+      ~pools:2 ~pool_size:8
+      ~strategy:(ME.Greedy_cost { rebalance_every = 100; switch_cost = 1e12 })
+      ~costs t
+  in
+  checki "no migrations at huge switch cost" 0 frozen.ME.migrations;
+  Alcotest.(check (float 1e-9)) "no switch cost paid" 0.0 frozen.ME.switch_cost_paid
+
+let test_switch_cost_accounted () =
+  let t = workload ~seed:5 ~tenants:4 ~length:2000 in
+  let costs = costs_of 4 in
+  let r =
+    ME.run
+      ~initial_assignment:(Array.make 4 0)
+      ~pools:2 ~pool_size:12
+      ~strategy:(ME.Greedy_cost { rebalance_every = 200; switch_cost = 25.0 })
+      ~costs t
+  in
+  Alcotest.(check (float 1e-9))
+    "switch cost = migrations x price"
+    (25.0 *. float_of_int r.ME.migrations)
+    r.ME.switch_cost_paid
+
+let test_validation () =
+  let t = workload ~seed:6 ~tenants:2 ~length:10 in
+  let costs = costs_of 2 in
+  Alcotest.check_raises "pools > 0"
+    (Invalid_argument "Multi_engine.run: pools must be positive") (fun () ->
+      ignore (ME.run ~pools:0 ~pool_size:4 ~strategy:ME.Static_round_robin ~costs t));
+  Alcotest.check_raises "assignment range"
+    (Invalid_argument "Multi_engine.run: assignment outside pool range") (fun () ->
+      ignore
+        (ME.run ~initial_assignment:[| 0; 5 |] ~pools:2 ~pool_size:4
+           ~strategy:ME.Static_round_robin ~costs t))
+
+let test_policy_override () =
+  (* any engine policy can drive the pools *)
+  let t = workload ~seed:7 ~tenants:2 ~length:400 in
+  let costs = costs_of 2 in
+  let r =
+    ME.run ~policy:Ccache_policies.Lru.policy ~pools:2 ~pool_size:8
+      ~strategy:ME.Static_round_robin ~costs t
+  in
+  checkb "runs with lru" true (r.ME.total_cost > 0.0);
+  (* single pool with lru equals plain lru run *)
+  let single =
+    ME.run ~policy:Ccache_policies.Lru.policy ~pools:1 ~pool_size:16
+      ~strategy:ME.Static_round_robin ~costs t
+  in
+  let plain = Engine.run ~k:16 ~costs Ccache_policies.Lru.policy t in
+  checkb "matches engine" true
+    (single.ME.misses_per_user = plain.Engine.misses_per_user)
+
+let test_strategy_names () =
+  checkb "static" true (ME.strategy_name ME.Static_round_robin = "static-rr");
+  checkb "greedy" true
+    (ME.strategy_name (ME.Greedy_cost { rebalance_every = 10; switch_cost = 2.0 })
+    = "greedy(sw=2)")
+
+let () =
+  Alcotest.run "ccache_multipool"
+    [
+      ( "multi_engine",
+        [
+          Alcotest.test_case "single pool = engine" `Quick test_single_pool_equals_engine;
+          Alcotest.test_case "partitioning never helps" `Quick test_partitioning_never_helps;
+          Alcotest.test_case "rebalance repairs" `Quick test_rebalance_repairs_bad_assignment;
+          Alcotest.test_case "huge switch freezes" `Quick test_huge_switch_cost_freezes;
+          Alcotest.test_case "switch cost accounted" `Quick test_switch_cost_accounted;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "policy override" `Quick test_policy_override;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+    ]

@@ -1,0 +1,379 @@
+(* Tests for ccache_trace: pages, traces + index, Zipf sampling,
+   workload generators, IO round-trips and trace statistics. *)
+
+open Ccache_trace
+module W = Workloads
+module Prng = Ccache_util.Prng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let p u i = Page.make ~user:u ~id:i
+
+(* ------------------------------------------------------------------ *)
+(* Page                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_basics () =
+  let a = p 1 2 in
+  checki "user" 1 (Page.user a);
+  checki "id" 2 (Page.id a);
+  checkb "equal" true (Page.equal a (p 1 2));
+  checkb "not equal" false (Page.equal a (p 1 3));
+  checkb "ordered by user first" true (Page.compare (p 0 99) (p 1 0) < 0);
+  checkb "then by id" true (Page.compare (p 1 1) (p 1 2) < 0);
+  Alcotest.check_raises "negative user"
+    (Invalid_argument "Page.make: negative user") (fun () -> ignore (p (-1) 0))
+
+let test_page_string_roundtrip () =
+  let a = p 3 17 in
+  checkb "roundtrip" true (Page.of_string (Page.to_string a) = Some a);
+  checkb "garbage rejected" true (Page.of_string "nonsense" = None);
+  checkb "partial rejected" true (Page.of_string "u1" = None);
+  checkb "bad numbers rejected" true (Page.of_string "ux:py" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace + Index                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* sequence: a b a c b a   (users: a,c -> 0; b -> 1) *)
+let sample_trace () =
+  Trace.of_list ~n_users:2 [ p 0 0; p 1 0; p 0 0; p 0 1; p 1 0; p 0 0 ]
+
+let test_trace_basics () =
+  let t = sample_trace () in
+  checki "length" 6 (Trace.length t);
+  checki "users" 2 (Trace.n_users t);
+  checki "distinct" 3 (List.length (Trace.distinct_pages t));
+  checkb "first-touch order" true
+    (Trace.distinct_pages t = [ p 0 0; p 1 0; p 0 1 ]);
+  Alcotest.check_raises "user out of range"
+    (Invalid_argument "Trace.of_pages: page u5:p0 outside user range [0,2)")
+    (fun () -> ignore (Trace.of_list ~n_users:2 [ p 5 0 ]))
+
+let test_trace_index () =
+  let t = sample_trace () in
+  let idx = Trace.Index.build t in
+  (* interval indices: a(1) b(1) a(2) c(1) b(2) a(3) *)
+  checkb "intervals" true
+    (List.init 6 (Trace.Index.interval_index idx) = [ 1; 1; 2; 1; 2; 3 ]);
+  (* next use: a@0 -> 2, b@1 -> 4, a@2 -> 5, c@3 -> none, b@4 -> none, a@5 -> none *)
+  checki "next of a@0" 2 (Trace.Index.next_use idx 0);
+  checki "next of b@1" 4 (Trace.Index.next_use idx 1);
+  checkb "c@3 last" true (Trace.Index.is_last_request idx 3);
+  checkb "a@5 last" true (Trace.Index.is_last_request idx 5);
+  checki "prev of a@2" 0 (Trace.Index.prev_use idx 2);
+  checki "prev of a@0" (-1) (Trace.Index.prev_use idx 0);
+  (* distinct counts: 1 2 2 3 3 3 *)
+  checkb "distinct_upto" true
+    (List.init 6 (Trace.Index.distinct_upto idx) = [ 1; 2; 2; 3; 3; 3 ]);
+  checki "r(a,T)" 3 (Trace.Index.total_requests idx (p 0 0));
+  checki "r(c,T)" 1 (Trace.Index.total_requests idx (p 0 1));
+  checkb "first_use" true (Trace.Index.first_use idx (p 0 1) = Some 3);
+  checkb "unknown page" true (Trace.Index.first_use idx (p 1 9) = None)
+
+let test_trace_append_flush () =
+  let t = sample_trace () in
+  let doubled = Trace.append t t in
+  checki "appended" 12 (Trace.length doubled);
+  let flushed = Trace.with_flush ~k:4 t in
+  checki "flush adds k" 10 (Trace.length flushed);
+  checki "flush adds dummy user" 3 (Trace.n_users flushed);
+  (* dummy pages are fresh and owned by the dummy user *)
+  for i = 6 to 9 do
+    checki "dummy user id" 2 (Page.user (Trace.request flushed i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_append_mismatch () =
+  let a = Trace.of_list ~n_users:1 [ p 0 0 ] in
+  let b = Trace.of_list ~n_users:2 [ p 1 0 ] in
+  Alcotest.check_raises "user count"
+    (Invalid_argument "Trace.append: user-count mismatch") (fun () ->
+      ignore (Trace.append a b))
+
+let test_zipf_validation () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~skew:1.0));
+  Alcotest.check_raises "negative skew"
+    (Invalid_argument "Zipf.create: negative skew") (fun () ->
+      ignore (Zipf.create ~n:3 ~skew:(-1.0)));
+  let z = Zipf.create ~n:3 ~skew:1.0 in
+  Alcotest.check_raises "pmf range" (Invalid_argument "Zipf.pmf: rank out of range")
+    (fun () -> ignore (Zipf.pmf z 3))
+
+let test_zipf_pmf () =
+  let z = Zipf.create ~n:5 ~skew:1.0 in
+  let total = ref 0.0 in
+  for i = 0 to 4 do
+    total := !total +. Zipf.pmf z i
+  done;
+  checkf "pmf sums to 1" 1.0 !total;
+  checkb "rank 0 most popular" true (Zipf.pmf z 0 > Zipf.pmf z 4)
+
+let test_zipf_skew_zero_uniform () =
+  let z = Zipf.create ~n:4 ~skew:0.0 in
+  for i = 0 to 3 do
+    checkf "uniform pmf" 0.25 (Zipf.pmf z i)
+  done
+
+let test_zipf_sampling_skew () =
+  let z = Zipf.create ~n:100 ~skew:1.2 in
+  let rng = Prng.create ~seed:1 in
+  let counts = Array.make 100 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  checkb "head heavier than tail" true (counts.(0) > 10 * counts.(99));
+  (* empirical frequency of rank 0 close to pmf *)
+  let freq0 = float_of_int counts.(0) /. float_of_int n in
+  checkb "matches pmf" true (Float.abs (freq0 -. Zipf.pmf z 0) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_determinism () =
+  let specs = W.sqlvm_mix ~scale:1 in
+  let a = W.generate ~seed:5 ~length:500 specs in
+  let b = W.generate ~seed:5 ~length:500 specs in
+  checkb "same seed same trace" true (Trace.requests a = Trace.requests b);
+  let c = W.generate ~seed:6 ~length:500 specs in
+  checkb "different seed differs" true (Trace.requests a <> Trace.requests c)
+
+let test_workload_cycle () =
+  let t = W.generate_single ~seed:1 ~length:7 (W.Cycle { pages = 3 }) in
+  let ids = Array.to_list (Array.map Page.id (Trace.requests t)) in
+  checkb "cyclic" true (ids = [ 0; 1; 2; 0; 1; 2; 0 ])
+
+let test_workload_scan () =
+  let t =
+    W.generate_single ~seed:1 ~length:8
+      (W.Sequential_scan { pages = 3; passes = 2 })
+  in
+  let ids = Array.to_list (Array.map Page.id (Trace.requests t)) in
+  (* two full passes then uniform re-reads within range *)
+  checkb "scan prefix" true
+    (List.filteri (fun i _ -> i < 6) ids = [ 0; 1; 2; 0; 1; 2 ]);
+  List.iter (fun i -> checkb "wrap in range" true (i >= 0 && i < 3)) ids
+
+let test_workload_hot_cold () =
+  let t =
+    W.generate_single ~seed:2 ~length:5000
+      (W.Hot_cold { pages = 100; hot_pages = 5; hot_prob = 0.9 })
+  in
+  let hot = ref 0 in
+  Array.iter (fun q -> if Page.id q < 5 then incr hot) (Trace.requests t);
+  let frac = float_of_int !hot /. 5000.0 in
+  checkb "hot fraction ~0.9" true (frac > 0.85 && frac < 0.95)
+
+let test_workload_drift () =
+  let t =
+    W.generate_single ~seed:3 ~length:1000
+      (W.Drifting_zipf { pages = 50; window = 10; skew = 1.0; shift_every = 100 })
+  in
+  (* early requests stay in the initial window; late ones have drifted *)
+  let early = Array.sub (Trace.requests t) 0 100 in
+  Array.iter (fun q -> checkb "early in window" true (Page.id q < 10)) early;
+  let late = Array.sub (Trace.requests t) 900 100 in
+  checkb "late drifted" true (Array.exists (fun q -> Page.id q >= 10) late)
+
+let test_workload_mixture_and_weights () =
+  let specs =
+    [
+      W.tenant ~weight:9.0 (W.Uniform { pages = 10 });
+      W.tenant ~weight:1.0 (W.Uniform { pages = 10 });
+    ]
+  in
+  let t = W.generate ~seed:4 ~length:10_000 specs in
+  let counts = Array.make 2 0 in
+  Array.iter (fun q -> counts.(Page.user q) <- counts.(Page.user q) + 1) (Trace.requests t);
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(1) in
+  checkb "9:1 rate ratio" true (ratio > 7.0 && ratio < 11.5);
+  (* mixture pattern validates and respects footprint *)
+  let m = W.Mixture [ (1.0, W.Uniform { pages = 5 }); (1.0, W.Cycle { pages = 9 }) ] in
+  checki "mixture footprint" 9 (W.footprint m)
+
+let test_workload_validation () =
+  Alcotest.check_raises "no tenants"
+    (Invalid_argument "Workloads.generate: no tenants") (fun () ->
+      ignore (W.generate ~seed:1 ~length:10 []));
+  Alcotest.check_raises "bad pages"
+    (Invalid_argument "Workloads: pattern needs pages > 0") (fun () ->
+      ignore (W.generate_single ~seed:1 ~length:10 (W.Uniform { pages = 0 })));
+  Alcotest.check_raises "bad hot prob"
+    (Invalid_argument "Workloads: hot_prob outside [0,1]") (fun () ->
+      ignore
+        (W.generate_single ~seed:1 ~length:10
+           (W.Hot_cold { pages = 10; hot_pages = 2; hot_prob = 1.5 })))
+
+let test_workload_phases () =
+  let phase_a = [ W.tenant (W.Cycle { pages = 2 }); W.tenant ~weight:1e-9 (W.Uniform { pages = 2 }) ] in
+  let phase_b = [ W.tenant ~weight:1e-9 (W.Cycle { pages = 2 }); W.tenant (W.Uniform { pages = 2 }) ] in
+  let t = W.generate_phases ~seed:9 [ (phase_a, 50); (phase_b, 50) ] in
+  checki "total length" 100 (Trace.length t);
+  checki "two users" 2 (Trace.n_users t);
+  (* phase A is essentially all user 0, phase B all user 1 *)
+  let first_half = Array.sub (Trace.requests t) 0 50 in
+  let second_half = Array.sub (Trace.requests t) 50 50 in
+  let count u a = Array.fold_left (fun acc q -> if Page.user q = u then acc + 1 else acc) 0 a in
+  checkb "phase A dominated by user 0" true (count 0 first_half >= 49);
+  checkb "phase B dominated by user 1" true (count 1 second_half >= 49);
+  Alcotest.check_raises "tenant count mismatch"
+    (Invalid_argument "Workloads.generate_phases: phases disagree on tenant count")
+    (fun () ->
+      ignore (W.generate_phases ~seed:1 [ (phase_a, 10); ([ W.tenant (W.Uniform { pages = 1 }) ], 10) ]))
+
+let test_workload_day_night () =
+  let day = W.symmetric_zipf ~tenants:4 ~pages_per_tenant:10 ~skew:0.5 in
+  let phases = W.day_night ~day ~night_tenants:2 ~phase_length:100 ~cycles:3 in
+  checki "six phases" 6 (List.length phases);
+  let t = W.generate_phases ~seed:4 phases in
+  checki "length" 600 (Trace.length t);
+  (* night phases carry almost no traffic from tenants 2,3 *)
+  let night = Array.sub (Trace.requests t) 100 100 in
+  let late_users = Array.fold_left (fun acc q -> if Page.user q >= 2 then acc + 1 else acc) 0 night in
+  checkb "night is quiet for tenants 2-3" true (late_users <= 2);
+  Alcotest.check_raises "bad night count"
+    (Invalid_argument "Workloads.day_night: bad night tenant count") (fun () ->
+      ignore (W.day_night ~day ~night_tenants:9 ~phase_length:10 ~cycles:1))
+
+let test_lru_nemesis () =
+  let t = W.generate ~seed:1 ~length:10 (W.lru_nemesis ~k:3) in
+  let ids = Array.to_list (Array.map Page.id (Trace.requests t)) in
+  checkb "cycles k+1 pages" true
+    (ids = [ 0; 1; 2; 3; 0; 1; 2; 3; 0; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Trace IO                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_roundtrip_handmade () =
+  let t = sample_trace () in
+  let s = Trace_io.to_string t in
+  let t' = Trace_io.of_string s in
+  checkb "requests preserved" true (Trace.requests t = Trace.requests t');
+  checki "users preserved" (Trace.n_users t) (Trace.n_users t')
+
+let test_io_rejects_garbage () =
+  checkb "bad magic raises" true
+    (match Trace_io.of_string "hello\nusers 2\n" with
+    | exception Trace_io.Parse_error _ -> true
+    | _ -> false);
+  checkb "missing users raises" true
+    (match Trace_io.of_string "# convex-caching trace v1\n0 1\n" with
+    | exception Trace_io.Parse_error _ -> true
+    | _ -> false);
+  checkb "bad line raises" true
+    (match Trace_io.of_string "# convex-caching trace v1\nusers 2\nx y z\n" with
+    | exception Trace_io.Parse_error _ -> true
+    | _ -> false)
+
+let test_io_comments_and_blanks () =
+  let s = "# convex-caching trace v1\n\n# a comment\nusers 2\n0 0\n\n1 3\n" in
+  let t = Trace_io.of_string s in
+  checki "two requests" 2 (Trace.length t);
+  checkb "parsed pages" true (Trace.requests t = [| p 0 0; p 1 3 |])
+
+let test_io_file_roundtrip () =
+  let t = W.generate ~seed:9 ~length:300 (W.sqlvm_mix ~scale:1) in
+  let path = Filename.temp_file "ccache" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.write_file path t;
+      let t' = Trace_io.read_file path in
+      checkb "file roundtrip" true (Trace.requests t = Trace.requests t'))
+
+let io_roundtrip_property =
+  QCheck.Test.make ~name:"io roundtrip on random traces" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 0 80))
+    (fun (users, len) ->
+      let rng = Prng.create ~seed:(users + (1000 * len)) in
+      let reqs =
+        List.init len (fun _ ->
+            Page.make ~user:(Prng.int rng users) ~id:(Prng.int rng 20))
+      in
+      let t = Trace.of_list ~n_users:users reqs in
+      let t' = Trace_io.of_string (Trace_io.to_string t) in
+      Trace.requests t = Trace.requests t' && Trace.n_users t = Trace.n_users t')
+
+(* ------------------------------------------------------------------ *)
+(* Trace stats                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_compute () =
+  let t = sample_trace () in
+  let s = Trace_stats.compute t in
+  checki "length" 6 s.Trace_stats.length;
+  checki "cold misses = distinct" 3 s.Trace_stats.cold_misses;
+  checki "user0 requests" 4 s.Trace_stats.per_user.(0).Trace_stats.requests;
+  checki "user0 distinct" 2 s.Trace_stats.per_user.(0).Trace_stats.distinct_pages;
+  checkf "max hit ratio" 0.5 (Trace_stats.max_hit_ratio s)
+
+let test_stats_reuse_distances () =
+  (* a b a: reuse distance of second a is 1 (b in between) *)
+  let t = Trace.of_list ~n_users:2 [ p 0 0; p 1 0; p 0 0 ] in
+  let d = Trace_stats.reuse_distances t in
+  checkb "one reuse" true (d = [| 1.0 |]);
+  (* a a: distance 0 *)
+  let t2 = Trace.of_list ~n_users:1 [ p 0 0; p 0 0 ] in
+  checkb "adjacent reuse" true (Trace_stats.reuse_distances t2 = [| 0.0 |])
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "ccache_trace"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "basics" `Quick test_page_basics;
+          Alcotest.test_case "string roundtrip" `Quick test_page_string_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "index" `Quick test_trace_index;
+          Alcotest.test_case "append/flush" `Quick test_trace_append_flush;
+          Alcotest.test_case "append mismatch" `Quick test_trace_append_mismatch;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf" `Quick test_zipf_pmf;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+          Alcotest.test_case "skew 0 uniform" `Quick test_zipf_skew_zero_uniform;
+          Alcotest.test_case "sampling skew" `Quick test_zipf_sampling_skew;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "cycle" `Quick test_workload_cycle;
+          Alcotest.test_case "scan" `Quick test_workload_scan;
+          Alcotest.test_case "hot/cold" `Quick test_workload_hot_cold;
+          Alcotest.test_case "drift" `Quick test_workload_drift;
+          Alcotest.test_case "mixture/weights" `Quick test_workload_mixture_and_weights;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "phases" `Quick test_workload_phases;
+          Alcotest.test_case "day/night churn" `Quick test_workload_day_night;
+          Alcotest.test_case "lru nemesis" `Quick test_lru_nemesis;
+        ] );
+      ( "trace_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip_handmade;
+          Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+          Alcotest.test_case "comments/blanks" `Quick test_io_comments_and_blanks;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+        ]
+        @ qsuite [ io_roundtrip_property ] );
+      ( "trace_stats",
+        [
+          Alcotest.test_case "compute" `Quick test_stats_compute;
+          Alcotest.test_case "reuse distances" `Quick test_stats_reuse_distances;
+        ] );
+    ]

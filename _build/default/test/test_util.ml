@@ -1,0 +1,477 @@
+(* Unit and property tests for ccache_util. *)
+
+module Prng = Ccache_util.Prng
+module Stats = Ccache_util.Stats
+module Fc = Ccache_util.Float_cmp
+module Dlist = Ccache_util.Dlist
+module Heap = Ccache_util.Indexed_heap
+module Tbl = Ccache_util.Ascii_table
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Prng.float a = Prng.float b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xs = Array.init 16 (fun _ -> Prng.float a) in
+  let ys = Array.init 16 (fun _ -> Prng.float b) in
+  checkb "different seeds differ" true (xs <> ys)
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:7 in
+  let child = Prng.split parent in
+  let c1 = Array.init 8 (fun _ -> Prng.float child) in
+  (* splitting again gives a different child stream *)
+  let child2 = Prng.split parent in
+  let c2 = Array.init 8 (fun _ -> Prng.float child2) in
+  checkb "children differ" true (c1 <> c2)
+
+let test_prng_int_range () =
+  let t = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_float_range () =
+  let t = Prng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float t in
+    checkb "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_uniformity () =
+  let t = Prng.create ~seed:5 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Prng.int t 10 in
+    counts.(b) <- counts.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      checkb "roughly uniform" true (freq > 0.08 && freq < 0.12))
+    counts
+
+let test_prng_bernoulli () =
+  let t = Prng.create ~seed:6 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli t ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  checkb "p=0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let test_prng_categorical () =
+  let t = Prng.create ~seed:8 in
+  let weights = [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = Prng.categorical t ~weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  checki "zero-weight bucket empty" 0 counts.(1);
+  let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+  checkb "3:1 ratio" true (ratio > 2.7 && ratio < 3.3)
+
+let test_prng_exponential_mean () =
+  let t = Prng.create ~seed:9 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.exponential t ~rate:2.0
+  done;
+  let mean = !acc /. float_of_int n in
+  checkb "mean ~ 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_prng_geometric () =
+  let t = Prng.create ~seed:10 in
+  checki "p=1 is 0" 0 (Prng.geometric t ~p:1.0);
+  for _ = 1 to 1000 do
+    checkb "non-negative" true (Prng.geometric t ~p:0.4 >= 0)
+  done
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create ~seed:11 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Prng.shuffle t a in
+  checkb "original untouched" true (a = Array.init 50 (fun i -> i));
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  checkb "is a permutation" true (sorted = a)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:5 in
+  ignore (Prng.float a);
+  let b = Prng.copy a in
+  checkb "copy continues identically" true
+    (Array.init 8 (fun _ -> Prng.float a) = Array.init 8 (fun _ -> Prng.float b))
+
+let test_prng_sample_distinct () =
+  let t = Prng.create ~seed:12 in
+  let s = Prng.sample_distinct t ~bound:100 ~count:30 in
+  checki "count" 30 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  checki "distinct" 30 (List.length uniq);
+  List.iter (fun v -> checkb "in bound" true (v >= 0 && v < 100)) uniq;
+  (* dense case takes the shuffle path *)
+  let d = Prng.sample_distinct t ~bound:10 ~count:10 in
+  checki "all of them" 10 (List.length (List.sort_uniq compare (Array.to_list d)))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean_var () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "variance" 1.0 (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  checkf "singleton variance" 0.0 (Stats.variance [| 5.0 |]);
+  checkf "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let test_stats_minmax () =
+  checkf "min" (-2.0) (Stats.min [| 3.0; -2.0; 1.0 |]);
+  checkf "max" 3.0 (Stats.max [| 3.0; -2.0; 1.0 |])
+
+let test_stats_quantile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "q0" 1.0 (Stats.quantile a 0.0);
+  checkf "q1" 4.0 (Stats.quantile a 1.0);
+  checkf "median interpolates" 2.5 (Stats.median a);
+  checkf "q25" 1.75 (Stats.quantile a 0.25);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.quantile a 1.5))
+
+let test_stats_geometric_mean () =
+  checkf "gm" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |] ** 3.0 /. 4.0 *. 1.0
+                   |> fun _ -> Stats.geometric_mean [| 2.0; 2.0 |]);
+  checkb "gm of 1,4 is 2" true
+    (Fc.approx_eq (Stats.geometric_mean [| 1.0; 4.0 |]) 2.0)
+
+let test_stats_linear_fit () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let slope, intercept = Stats.linear_fit ~xs ~ys in
+  checkf "slope" 2.0 slope;
+  checkf "intercept" 1.0 intercept
+
+let test_stats_loglog_slope () =
+  let xs = [| 1.0; 2.0; 4.0; 8.0 |] in
+  let ys = Array.map (fun x -> 3.0 *. (x ** 1.7)) xs in
+  checkb "power-law exponent" true
+    (Fc.approx_eq ~tol:1e-6 (Stats.loglog_slope ~xs ~ys) 1.7)
+
+let test_stats_correlation () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  checkf "perfect" 1.0 (Stats.correlation ~xs ~ys:xs);
+  checkf "anti" (-1.0) (Stats.correlation ~xs ~ys:(Array.map (fun x -> -.x) xs))
+
+let test_stats_histogram () =
+  let counts = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 3.9; -1.0; 9.0 |] in
+  checkb "clamped ends" true (counts = [| 2; 2; 0; 2 |])
+
+let test_stats_summary () =
+  let s = Stats.summarize (Array.init 101 (fun i -> float_of_int i)) in
+  checki "n" 101 s.Stats.n;
+  checkf "median" 50.0 s.Stats.median;
+  checkf "p95" 95.0 s.Stats.p95
+
+(* ------------------------------------------------------------------ *)
+(* Float_cmp                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_float_cmp () =
+  checkb "eq" true (Fc.approx_eq 1.0 (1.0 +. 1e-12));
+  checkb "neq" false (Fc.approx_eq 1.0 1.1);
+  checkb "le" true (Fc.approx_le 1.0 (1.0 -. 1e-12));
+  checkb "ge" true (Fc.approx_ge (1.0 -. 1e-12) 1.0);
+  checkb "zero" true (Fc.approx_zero 1e-12);
+  checkf "rel err" 0.1 (Fc.relative_error ~expected:10.0 ~measured:11.0);
+  checkf "clamp" 2.0 (Fc.clamp ~lo:0.0 ~hi:2.0 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dlist                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dlist_basic () =
+  let l = Dlist.create () in
+  checkb "empty" true (Dlist.is_empty l);
+  let n1 = Dlist.node 1 and n2 = Dlist.node 2 and n3 = Dlist.node 3 in
+  Dlist.push_front l n1;
+  Dlist.push_front l n2;
+  Dlist.push_back l n3;
+  (* order: 2 1 3 *)
+  checkb "to_list" true (Dlist.to_list l = [ 2; 1; 3 ]);
+  checki "length" 3 (Dlist.length l);
+  Dlist.move_to_front l n3;
+  checkb "moved" true (Dlist.to_list l = [ 3; 2; 1 ]);
+  Dlist.move_to_back l n3;
+  checkb "moved back" true (Dlist.to_list l = [ 2; 1; 3 ]);
+  Dlist.remove l n1;
+  checkb "removed" true (Dlist.to_list l = [ 2; 3 ]);
+  checkb "invariant" true (Dlist.invariant_ok l);
+  (* removed node can be reinserted *)
+  Dlist.push_front l n1;
+  checkb "reinserted" true (Dlist.to_list l = [ 1; 2; 3 ])
+
+let test_dlist_pop () =
+  let l = Dlist.create () in
+  checkb "pop empty" true (Dlist.pop_front l = None);
+  let n = Dlist.node 42 in
+  Dlist.push_back l n;
+  (match Dlist.pop_back l with
+  | Some m -> checki "popped" 42 (Dlist.value m)
+  | None -> Alcotest.fail "expected node");
+  checkb "now empty" true (Dlist.is_empty l)
+
+let test_dlist_cross_list_guard () =
+  let a = Dlist.create () and b = Dlist.create () in
+  let n = Dlist.node 1 in
+  Dlist.push_front a n;
+  Alcotest.check_raises "cross-list remove"
+    (Invalid_argument "Dlist.remove: node not in this list") (fun () ->
+      Dlist.remove b n);
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Dlist.push_front: node already in a list") (fun () ->
+      Dlist.push_front b n)
+
+(* Model-based qcheck: a random op sequence against a list model. *)
+let dlist_model_test =
+  QCheck.Test.make ~name:"dlist matches list model" ~count:200
+    QCheck.(list (pair (int_range 0 3) small_nat))
+    (fun ops ->
+      let l = Dlist.create () in
+      let nodes = Hashtbl.create 16 in
+      let model = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 when not (Hashtbl.mem nodes v) ->
+              let n = Dlist.node v in
+              Hashtbl.add nodes v n;
+              Dlist.push_front l n;
+              model := v :: !model
+          | 1 when not (Hashtbl.mem nodes v) ->
+              let n = Dlist.node v in
+              Hashtbl.add nodes v n;
+              Dlist.push_back l n;
+              model := !model @ [ v ]
+          | 2 -> (
+              match Hashtbl.find_opt nodes v with
+              | Some n ->
+                  Dlist.remove l n;
+                  Hashtbl.remove nodes v;
+                  model := List.filter (fun x -> x <> v) !model
+              | None -> ())
+          | _ -> (
+              match Hashtbl.find_opt nodes v with
+              | Some n ->
+                  Dlist.move_to_front l n;
+                  model := v :: List.filter (fun x -> x <> v) !model
+              | None -> ()))
+        ops;
+      Dlist.to_list l = !model && Dlist.invariant_ok l)
+
+(* ------------------------------------------------------------------ *)
+(* Indexed_heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  checkb "empty" true (Heap.is_empty h);
+  Heap.add h ~key:1 ~prio:5.0;
+  Heap.add h ~key:2 ~prio:3.0;
+  Heap.add h ~key:3 ~prio:4.0;
+  checkb "peek min" true (Heap.peek h = Some (2, 3.0));
+  Heap.update h ~key:2 ~prio:10.0;
+  checkb "after increase" true (Heap.peek h = Some (3, 4.0));
+  Heap.update h ~key:1 ~prio:0.5;
+  checkb "after decrease" true (Heap.peek h = Some (1, 0.5));
+  Heap.remove h 1;
+  checkb "after remove" true (Heap.peek h = Some (3, 4.0));
+  checki "length" 2 (Heap.length h);
+  checkb "invariant" true (Heap.invariant_ok h)
+
+let test_heap_tie_break () =
+  let h = Heap.create () in
+  Heap.add h ~key:9 ~prio:1.0;
+  Heap.add h ~key:3 ~prio:1.0;
+  Heap.add h ~key:7 ~prio:1.0;
+  checkb "smallest key wins ties" true (fst (Heap.peek_exn h) = 3)
+
+let test_heap_errors () =
+  let h = Heap.create () in
+  Heap.add h ~key:1 ~prio:1.0;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Indexed_heap.add: duplicate key") (fun () ->
+      Heap.add h ~key:1 ~prio:2.0);
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Heap.priority h 99))
+
+let test_heap_set_upsert () =
+  let h = Heap.create () in
+  Heap.set h ~key:1 ~prio:5.0;
+  checkb "insert path" true (Heap.peek h = Some (1, 5.0));
+  Heap.set h ~key:1 ~prio:2.0;
+  checkb "update path" true (Heap.peek h = Some (1, 2.0));
+  checki "no duplicate" 1 (Heap.length h)
+
+let test_heap_pop_order () =
+  let h = Heap.create () in
+  let vals = [ 5.0; 1.0; 4.0; 2.0; 3.0 ] in
+  List.iteri (fun i p -> Heap.add h ~key:i ~prio:p) vals;
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, p) ->
+        popped := p :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  checkb "ascending" true (List.rev !popped = [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
+
+let heap_model_test =
+  QCheck.Test.make ~name:"heap matches sorted-assoc model" ~count:200
+    QCheck.(list (pair (int_range 0 2) (pair (int_range 0 20) (float_range 0.0 100.0))))
+    (fun ops ->
+      let h = Heap.create () in
+      let model : (int, float) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (op, (k, p)) ->
+          match op with
+          | 0 ->
+              if not (Heap.mem h k) then begin
+                Heap.add h ~key:k ~prio:p;
+                Hashtbl.replace model k p
+              end
+          | 1 ->
+              if Heap.mem h k then begin
+                Heap.update h ~key:k ~prio:p;
+                Hashtbl.replace model k p
+              end
+          | _ ->
+              if Heap.mem h k then begin
+                Heap.remove h k;
+                Hashtbl.remove model k
+              end)
+        ops;
+      if not (Heap.invariant_ok h) then false
+      else if Hashtbl.length model = 0 then Heap.is_empty h
+      else begin
+        let min_model =
+          Hashtbl.fold
+            (fun k p acc ->
+              match acc with
+              | None -> Some (k, p)
+              | Some (bk, bp) ->
+                  if p < bp || (p = bp && k < bk) then Some (k, p) else acc)
+            model None
+        in
+        Heap.peek h = min_model
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_render_plain () =
+  let t = Tbl.create ~title:"demo" ~aligns:[ Tbl.Left; Tbl.Right ] [ "a"; "b" ] in
+  Tbl.add_row t [ "xx"; "1" ];
+  Tbl.add_row t [ "y"; "22" ];
+  let s = Tbl.to_string t in
+  checkb "has title" true (String.length s > 4 && String.sub s 0 4 = "demo");
+  checkb "contains cell" true (contains ~needle:"xx" s);
+  checkb "right-aligned number" true (contains ~needle:" 1 |" s);
+  let md = Tbl.to_markdown t in
+  checkb "markdown has pipes" true (String.contains md '|');
+  checkb "markdown align row" true (contains ~needle:":-" md)
+
+let test_table_errors () =
+  let t = Tbl.create [ "a"; "b" ] in
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Ascii_table.add_row: row width mismatch") (fun () ->
+      Tbl.add_row t [ "only-one" ])
+
+let test_table_cells () =
+  checkb "int" true (Tbl.cell_int 42 = "42");
+  checkb "pct" true (Tbl.cell_pct 0.5 = "50.0%");
+  checkb "ratio" true (Tbl.cell_ratio 1.23456 = "1.235")
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "ccache_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "bernoulli" `Quick test_prng_bernoulli;
+          Alcotest.test_case "categorical" `Quick test_prng_categorical;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "geometric" `Quick test_prng_geometric;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/var" `Quick test_stats_mean_var;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "loglog slope" `Quick test_stats_loglog_slope;
+          Alcotest.test_case "correlation" `Quick test_stats_correlation;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ("float_cmp", [ Alcotest.test_case "all" `Quick test_float_cmp ]);
+      ( "dlist",
+        [
+          Alcotest.test_case "basic" `Quick test_dlist_basic;
+          Alcotest.test_case "pop" `Quick test_dlist_pop;
+          Alcotest.test_case "guards" `Quick test_dlist_cross_list_guard;
+        ]
+        @ qsuite [ dlist_model_test ] );
+      ( "indexed_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "tie break" `Quick test_heap_tie_break;
+          Alcotest.test_case "errors" `Quick test_heap_errors;
+          Alcotest.test_case "set upsert" `Quick test_heap_set_upsert;
+          Alcotest.test_case "pop order" `Quick test_heap_pop_order;
+        ]
+        @ qsuite [ heap_model_test ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render_plain;
+          Alcotest.test_case "errors" `Quick test_table_errors;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+    ]
