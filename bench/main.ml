@@ -1,6 +1,6 @@
 (* Benchmark harness (Bechamel).
 
-   Two families, per DESIGN.md Section 4:
+   Three families, per DESIGN.md Section 4:
 
    - experiment regeneration: one Test per experiment E1..E10 wrapping
      the Quick-size runner (the full tables themselves are printed by
@@ -9,13 +9,22 @@
    - throughput microbenchmarks: requests/second for every policy at
      two cache sizes, the fast-vs-reference ALG-DISCRETE comparison
      (DESIGN decision 2), the dual-solver iteration cost, and core data
-     structure operations.
+     structure operations;
+   - parallel-vs-serial: the E-suite and a multi-k policy sweep run
+     sequentially and on a Domain_pool, with the speedup printed (the
+     ratio only exceeds 1 on multicore hardware; domains oversubscribed
+     onto one core pay minor-GC synchronisation for no parallelism).
+
+   `--smoke` runs every group once with a tiny measurement quota — a
+   CI-friendly time-boxed pass proving the harness itself still works.
 
    Output: one line per benchmark with the OLS estimate of
    nanoseconds/run and derived requests/second where meaningful. *)
 
 open Bechamel
 open Toolkit
+
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once, outside the timed thunks)              *)
@@ -125,11 +134,60 @@ let structure_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel vs serial (Domain_pool)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Ccache_util.Domain_pool
+
+let pool_width = if smoke then 2 else 4
+
+(* One shared pool for the whole group: workers idle on a condition
+   variable between tests, so keeping it alive costs nothing. *)
+let pool = lazy (Pool.create ~size:pool_width ())
+
+let bench_suite =
+  (* smoke keeps the per-run cost bounded; the full group times the
+     entire E-suite, the headline number for --jobs regeneration *)
+  let specs =
+    if smoke then
+      List.filteri (fun i _ -> i < 4) Ccache_analysis.Suite.all
+    else Ccache_analysis.Suite.all
+  in
+  fun pool () ->
+    ignore
+      (Ccache_analysis.Experiment.run_all ?pool
+         ~size:Ccache_analysis.Experiment.Quick specs)
+
+let sweep_ks = [ 16; 32; 64; 128; 256; 512 ]
+
+let bench_ksweep pool () =
+  ignore
+    (Ccache_sim.Sweep.run ?pool sweep_ks ~f:(fun k ->
+         Ccache_sim.Engine.run ~index:fixture_index ~k ~costs:fixture_costs
+           Ccache_core.Alg_fast.policy fixture_trace))
+
+let parallel_tests =
+  Test.make_grouped ~name:"parallel_vs_serial"
+    [
+      Test.make ~name:"e_suite_serial" (Staged.stage (bench_suite None));
+      Test.make
+        ~name:(Printf.sprintf "e_suite_pool%d" pool_width)
+        (Staged.stage (fun () -> bench_suite (Some (Lazy.force pool)) ()));
+      Test.make ~name:"k_sweep_serial" (Staged.stage (bench_ksweep None));
+      Test.make
+        ~name:(Printf.sprintf "k_sweep_pool%d" pool_width)
+        (Staged.stage (fun () -> bench_ksweep (Some (Lazy.force pool)) ()));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let benchmark test =
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   Benchmark.all cfg Instance.[ monotonic_clock ] test
 
 let analyze results =
@@ -160,20 +218,54 @@ let report ~requests_per_run tbl =
         | _ -> ());
         print_newline ()
       end)
-    rows
+    rows;
+  rows
 
 let run_group ?requests_per_run title test =
   Printf.printf "== %s ==\n%!" title;
-  report ~requests_per_run (analyze (benchmark test));
+  ignore (report ~requests_per_run (analyze (benchmark test)));
+  print_newline ()
+
+(* Serial/pool speedup summary for the parallel_vs_serial group.  Row
+   names arrive prefixed by the group name, hence the substring match. *)
+let print_speedups rows =
+  let find suffix =
+    List.find_map
+      (fun (name, ns) ->
+        let n = String.length name and s = String.length suffix in
+        if n >= s && String.sub name (n - s) s = suffix && not (Float.is_nan ns)
+        then Some ns
+        else None)
+      rows
+  in
+  List.iter
+    (fun prefix ->
+      match
+        (find (prefix ^ "_serial"), find (Printf.sprintf "%s_pool%d" prefix pool_width))
+      with
+      | Some serial, Some pooled when pooled > 0.0 ->
+          Printf.printf "  %-42s %11.2fx (pool of %d)\n"
+            (prefix ^ " speedup") (serial /. pooled) pool_width
+      | _ -> ())
+    [ "e_suite"; "k_sweep" ]
+
+let run_parallel_group () =
+  Printf.printf "== parallel vs serial (Domain_pool, %d workers) ==\n%!"
+    pool_width;
+  let rows = report ~requests_per_run:None (analyze (benchmark parallel_tests)) in
+  print_speedups rows;
   print_newline ()
 
 let () =
   Printf.printf
-    "convex-caching benchmark harness (trace: %d requests, %d tenants)\n\n"
-    trace_len tenants;
+    "convex-caching benchmark harness (trace: %d requests, %d tenants%s)\n\n"
+    trace_len tenants
+    (if smoke then ", smoke mode" else "");
   run_group "experiment regeneration (quick size, one run each)" experiment_tests;
   run_group ~requests_per_run:trace_len "policy throughput, k=64" (policy_tests ~k:64);
   run_group ~requests_per_run:trace_len "policy throughput, k=1024" (policy_tests ~k:1024);
   run_group ~requests_per_run:trace_len "ALG-DISCRETE fast vs reference" fast_vs_ref_tests;
   run_group "dual solver" (Test.make_grouped ~name:"dual" [ dual_solver_test ]);
-  run_group "data structures" structure_tests
+  run_group "data structures" structure_tests;
+  run_parallel_group ();
+  if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

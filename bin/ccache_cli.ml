@@ -101,6 +101,79 @@ let certify_cmd trace_file workload tenants pages skew seed length k cost iters 
     c.Ccache_analysis.Certificate.certified_ratio;
   0
 
+(* --- sweep command --- *)
+
+(* Multi-k (or multi-policy) sweep over one workload, evaluated on a
+   domain pool when --jobs > 1.  The trace is generated once up front
+   and shared read-only across domains; each (policy, k) cell is an
+   independent simulation, so the table is identical at every job
+   count. *)
+let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
+    k_factor cost flush jobs =
+  if jobs < 0 then begin
+    Fmt.epr "--jobs must be >= 0@.";
+    exit 2
+  end;
+  if k_min <= 0 || k_max < k_min then begin
+    Fmt.epr "bad cache-size range: need 0 < --k-min <= --k-max (got %d..%d)@."
+      k_min k_max;
+    exit 2
+  end;
+  if k_factor <= 1.0 then begin
+    Fmt.epr "--k-factor must exceed 1 (got %g)@." k_factor;
+    exit 2
+  end;
+  let policy_names = if policy_names = [] then [ "alg-discrete" ] else policy_names in
+  let policies =
+    List.map
+      (fun name ->
+        match find_policy name with
+        | Some p -> p
+        | None ->
+            Fmt.epr "unknown policy %S; try the 'list' command@." name;
+            exit 2)
+      policy_names
+  in
+  let trace = make_workload ~workload ~tenants ~pages ~skew ~seed ~length in
+  let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
+  let index = Ccache_trace.Trace.Index.build trace in
+  let ks =
+    Ccache_sim.Sweep.geometric ~start:k_min ~stop:k_max ~factor:k_factor
+  in
+  let cells = Ccache_sim.Sweep.product policies ks in
+  let eval (policy, k) =
+    let r = Ccache_sim.Engine.run ~flush ~index ~k ~costs policy trace in
+    (Ccache_sim.Metrics.row ~costs r, r)
+  in
+  let results =
+    let run pool = Ccache_sim.Sweep.run ?pool cells ~f:eval in
+    if jobs = 1 then run None
+    else
+      let size = if jobs = 0 then None else Some jobs in
+      Ccache_util.Domain_pool.with_pool ?size (fun pool -> run (Some pool))
+  in
+  let module Tbl = Ccache_util.Ascii_table in
+  let tbl =
+    Tbl.create
+      ~title:
+        (Printf.sprintf "sweep: %s, %d requests, cost=%s" workload length cost)
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "policy"; "k"; "misses"; "miss%"; "cost" ]
+  in
+  List.iter
+    (fun ((_, k), (row, _)) ->
+      Tbl.add_row tbl
+        [
+          row.Ccache_sim.Metrics.policy;
+          Tbl.cell_int k;
+          Tbl.cell_int row.Ccache_sim.Metrics.misses;
+          Tbl.cell_pct row.Ccache_sim.Metrics.miss_ratio;
+          Tbl.cell_float ~digits:2 row.Ccache_sim.Metrics.cost;
+        ])
+    results;
+  Tbl.print tbl;
+  0
+
 (* --- list command --- *)
 
 let list_cmd () =
@@ -130,6 +203,27 @@ let flush_arg = Arg.(value & flag & info [ "flush" ])
 let out_arg = Arg.(value & opt (some string) None & info [ "out" ])
 let iters_arg = Arg.(value & opt int 80 & info [ "iterations" ])
 
+let policies_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "policy" ] ~docv:"NAME"
+        ~doc:"Policy to sweep (repeatable; default alg-discrete).")
+
+let k_min_arg = Arg.(value & opt int 16 & info [ "k-min" ] ~docv:"K")
+let k_max_arg = Arg.(value & opt int 512 & info [ "k-max" ] ~docv:"K")
+
+let k_factor_arg =
+  Arg.(value & opt float 2.0 & info [ "k-factor" ] ~docv:"F")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate sweep cells on $(docv) worker domains (default 1 = \
+           sequential, 0 = one per core).  The table is identical at \
+           every N.")
+
 let run_term =
   Term.(
     const run_cmd $ policy_arg $ trace_arg $ workload_arg $ tenants_arg
@@ -145,12 +239,22 @@ let gen_term =
     const gen_cmd $ workload_arg $ tenants_arg $ pages_arg $ skew_arg $ seed_arg
     $ length_arg $ out_arg)
 
+let sweep_term =
+  Term.(
+    const sweep_cmd $ policies_arg $ workload_arg $ tenants_arg $ pages_arg
+    $ skew_arg $ seed_arg $ length_arg $ k_min_arg $ k_max_arg $ k_factor_arg
+    $ cost_arg $ flush_arg $ jobs_arg)
+
 let cmd =
   Cmd.group
     (Cmd.info "ccache_cli" ~doc:"Convex-cost caching simulator")
     [
       Cmd.v (Cmd.info "run" ~doc:"Run a policy on a trace") run_term;
       Cmd.v (Cmd.info "gen" ~doc:"Generate a trace file") gen_term;
+      Cmd.v
+        (Cmd.info "sweep"
+           ~doc:"Sweep policies across cache sizes, optionally in parallel")
+        sweep_term;
       Cmd.v
         (Cmd.info "certify"
            ~doc:"Run ALG-DISCRETE and certify its per-instance ratio")

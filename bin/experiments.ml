@@ -2,14 +2,21 @@
     EXPERIMENTS.md).
 
     Usage:
-      experiments [--full] [--markdown] [ID ...]
+      experiments [--full | --quick] [--markdown] [--jobs N] [ID ...]
 
-    With no IDs, runs the whole suite in DESIGN.md order. *)
+    With no IDs, runs the whole suite in DESIGN.md order.  [--jobs N]
+    runs the selected experiments on N worker domains (0 = one per
+    core); the printed report is byte-identical at every job count
+    because outputs are collected first and rendered in spec order. *)
 
 open Cmdliner
 module A = Ccache_analysis
 
-let run full markdown ids =
+let run full quick markdown jobs ids =
+  if full && quick then begin
+    Fmt.epr "--full and --quick are mutually exclusive@.";
+    exit 2
+  end;
   let size = if full then A.Experiment.Full else A.Experiment.Quick in
   let fmt = if markdown then A.Report.Markdown else A.Report.Text in
   let specs =
@@ -26,14 +33,39 @@ let run full markdown ids =
                 exit 2)
           ids
   in
-  print_string (A.Report.run_suite ~fmt ~size specs);
+  if jobs < 0 then begin
+    Fmt.epr "--jobs must be >= 0@.";
+    exit 2
+  end;
+  let report =
+    if jobs = 1 then A.Report.run_suite ~fmt ~size specs
+    else
+      let size_opt = if jobs = 0 then None else Some jobs in
+      Ccache_util.Domain_pool.with_pool ?size:size_opt (fun pool ->
+          A.Report.run_suite ~fmt ~pool ~size specs)
+  in
+  print_string report;
   0
 
 let full =
   Arg.(value & flag & info [ "full" ] ~doc:"Full-size runs (EXPERIMENTS.md scale).")
 
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Quick-size runs (the default; rejects --full).")
+
 let markdown =
   Arg.(value & flag & info [ "markdown" ] ~doc:"Emit markdown tables.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run experiments on $(docv) worker domains (default 1 = \
+           sequential, 0 = one per core, i.e. CCACHE_JOBS or the \
+           recommended domain count).  Output is identical at every N.")
 
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10).")
@@ -41,6 +73,6 @@ let ids =
 let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the convex-caching experiment suite")
-    Term.(const run $ full $ markdown $ ids)
+    Term.(const run $ full $ quick $ markdown $ jobs $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,3 +28,10 @@ let all () = List.rev !registry
 let find id = List.find_opt (fun e -> e.id = id) (all ())
 
 let output ~id ~title ?(notes = []) tables = { id; title; tables; notes }
+
+(** Run independent experiments, optionally on a domain pool.  Outputs
+    come back in spec order, so callers can collect-then-print and get
+    byte-identical reports at any pool size (each experiment seeds its
+    own PRNGs internally and shares no mutable state). *)
+let run_all ?pool ~size specs =
+  Ccache_util.Domain_pool.map_list ?pool ~f:(fun e -> e.run size) specs

@@ -28,3 +28,9 @@ val output :
 val register : t -> unit
 val all : unit -> t list
 val find : string -> t option
+
+val run_all :
+  ?pool:Ccache_util.Domain_pool.t -> size:size -> t list -> output list
+(** Run experiments (in parallel when [?pool] is given), returning
+    outputs in spec order.  Every experiment derives its randomness
+    from fixed seeds, so the outputs are identical at any pool size. *)

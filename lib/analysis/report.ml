@@ -29,5 +29,10 @@ let render_output fmt (o : Experiment.output) =
 let run_and_render ?(fmt = Text) ~size (e : Experiment.t) =
   render_output fmt (e.Experiment.run size)
 
-let run_suite ?(fmt = Text) ~size specs =
-  String.concat "" (List.map (run_and_render ~fmt ~size) specs)
+(* Collect-then-print: with a pool the experiments run concurrently but
+   all rendering happens afterwards, in spec order, so the suite report
+   is byte-identical to the sequential one. *)
+let run_suite ?(fmt = Text) ?pool ~size specs =
+  Experiment.run_all ?pool ~size specs
+  |> List.map (render_output fmt)
+  |> String.concat ""

@@ -5,4 +5,12 @@ type format = Text | Markdown
 
 val render_output : format -> Experiment.output -> string
 val run_and_render : ?fmt:format -> size:Experiment.size -> Experiment.t -> string
-val run_suite : ?fmt:format -> size:Experiment.size -> Experiment.t list -> string
+val run_suite :
+  ?fmt:format ->
+  ?pool:Ccache_util.Domain_pool.t ->
+  size:Experiment.size ->
+  Experiment.t list ->
+  string
+(** Render a whole suite.  With [?pool] the experiments execute
+    concurrently (collect-then-print), and the returned report is
+    byte-identical to the sequential one. *)

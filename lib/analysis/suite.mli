@@ -3,3 +3,11 @@
 val all : Experiment.t list
 val find : string -> Experiment.t option
 val ids : string list
+
+val run_all :
+  ?pool:Ccache_util.Domain_pool.t ->
+  size:Experiment.size ->
+  unit ->
+  Experiment.output list
+(** Run every experiment (concurrently when [?pool] is given); outputs
+    are always in DESIGN.md order. *)

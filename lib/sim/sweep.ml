@@ -32,5 +32,16 @@ let linspace ~start ~stop ~count =
   List.init count (fun i ->
       start +. ((stop -. start) *. float_of_int i /. float_of_int (count - 1)))
 
-(** Map with the sweep point available for labelling. *)
-let run points ~f = List.map (fun p -> (p, f p)) points
+(** Map with the sweep point available for labelling.  With [?pool] the
+    cells are evaluated on the pool's worker domains; results keep the
+    input order either way. *)
+let run ?pool points ~f =
+  Ccache_util.Domain_pool.map_list ?pool ~f:(fun p -> (p, f p)) points
+
+(** Seeded sweep: each cell gets its own PRNG stream, derived from the
+    cell's *position* before any cell runs, so the output is identical
+    whether cells execute sequentially or on any number of domains. *)
+let run_seeded ?pool ~seed points ~f =
+  let parent = Ccache_util.Prng.create ~seed in
+  let cells = List.map (fun p -> (p, Ccache_util.Prng.split parent)) points in
+  Ccache_util.Domain_pool.map_list ?pool cells ~f:(fun (p, g) -> (p, f g p))

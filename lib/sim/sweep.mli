@@ -10,5 +10,19 @@ val geometric : start:int -> stop:int -> factor:float -> int list
 val arithmetic : start:int -> stop:int -> step:int -> int list
 val linspace : start:float -> stop:float -> count:int -> float list
 
-val run : 'a list -> f:('a -> 'b) -> ('a * 'b) list
-(** Map keeping the sweep point for labelling. *)
+val run :
+  ?pool:Ccache_util.Domain_pool.t -> 'a list -> f:('a -> 'b) -> ('a * 'b) list
+(** Map keeping the sweep point for labelling.  With [?pool] the cells
+    are evaluated in parallel on the pool's workers; the result list is
+    in input order either way. *)
+
+val run_seeded :
+  ?pool:Ccache_util.Domain_pool.t ->
+  seed:int ->
+  'a list ->
+  f:(Ccache_util.Prng.t -> 'a -> 'b) ->
+  ('a * 'b) list
+(** Like {!run} but hands each cell a private {!Ccache_util.Prng}
+    stream derived deterministically from [seed] and the cell index
+    before any cell executes.  Output is bit-for-bit identical across
+    pool sizes, including no pool at all. *)

@@ -1,0 +1,168 @@
+(** Fixed-size worker pool over OCaml 5 domains (see the .mli for the
+    determinism contract).
+
+    One mutex + condition guards the task queue; each future carries
+    its own mutex + condition so awaiters never contend with the queue.
+    Workers drain the queue even after [shutdown] is requested, which
+    is what makes shutdown graceful rather than abortive. *)
+
+type task = unit -> unit
+
+type t = {
+  lock : Mutex.t;  (** guards [queue], [stop] *)
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  flock : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+(* The OCaml runtime degrades past ~128 domains; 64 workers (plus the
+   submitting domain) is already beyond any machine we target. *)
+let max_size = 64
+
+let clamp_size n = Stdlib.min max_size (Stdlib.max 1 n)
+
+let default_size () =
+  let from_env =
+    match Sys.getenv_opt "CCACHE_JOBS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+  in
+  match from_env with
+  | Some n -> clamp_size n
+  | None -> clamp_size (Domain.recommended_domain_count ())
+
+let size t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.queue then (* stop requested and queue drained *)
+    Mutex.unlock t.lock
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    task ();
+    worker_loop t
+  end
+
+let create ?size () =
+  let size =
+    match size with Some n -> clamp_size n | None -> default_size ()
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      size;
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t f =
+  let fut =
+    { flock = Mutex.create (); fcond = Condition.create (); state = Pending }
+  in
+  let task () =
+    let result =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.flock;
+    fut.state <- result;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.flock
+  in
+  Mutex.lock t.lock;
+  if t.stop then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock;
+  fut
+
+let await fut =
+  Mutex.lock fut.flock;
+  while (match fut.state with Pending -> true | _ -> false) do
+    Condition.wait fut.fcond fut.flock
+  done;
+  let state = fut.state in
+  Mutex.unlock fut.flock;
+  match state with
+  | Pending -> assert false
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(* Await as a result, so a map can drain every future (letting all
+   tasks finish) before deciding whether to re-raise. *)
+let await_result fut =
+  match await fut with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+let parallel_map t ~f xs =
+  let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+  let results = List.map await_result futs in
+  List.map
+    (function Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    results
+
+let chunks n xs =
+  let rec go acc cur len = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if len + 1 >= n then go (List.rev (x :: cur) :: acc) [] 0 rest
+        else go acc (x :: cur) (len + 1) rest
+  in
+  go [] [] 0 xs
+
+let parallel_iter ?chunk t ~f xs =
+  let chunk =
+    match chunk with
+    | Some c -> Stdlib.max 1 c
+    | None ->
+        (* ~4 chunks per worker balances load without queue churn *)
+        let target = t.size * 4 in
+        Stdlib.max 1 ((List.length xs + target - 1) / target)
+  in
+  parallel_map t ~f:(List.iter f) (chunks chunk xs) |> ignore
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stop then Mutex.unlock t.lock
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_list ?pool ~f xs =
+  match pool with None -> List.map f xs | Some t -> parallel_map t ~f xs
