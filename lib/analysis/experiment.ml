@@ -22,9 +22,15 @@ type t = {
   run : size -> output;
 }
 
+(* Registration normally happens at module-initialisation time (single
+   domain), but nothing stops a caller registering from a pool task, so
+   the registry guards its shared ref with a mutex rather than merely
+   documenting main-domain-only use. *)
 let registry : t list ref = ref []
-let register e = registry := e :: !registry
-let all () = List.rev !registry
+let registry_mutex = Mutex.create ()
+let register e =
+  Mutex.protect registry_mutex (fun () -> registry := e :: !registry)
+let all () = List.rev (Mutex.protect registry_mutex (fun () -> !registry))
 let find id = List.find_opt (fun e -> e.id = id) (all ())
 
 let output ~id ~title ?(notes = []) tables = { id; title; tables; notes }

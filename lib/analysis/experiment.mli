@@ -26,7 +26,14 @@ val output :
   output
 
 val register : t -> unit
+(** Add an experiment to the global registry.  Mutex-guarded, so it is
+    safe from any domain (registration normally happens at module
+    initialisation, before any pool exists). *)
+
 val all : unit -> t list
+(** Registered experiments in registration order (mutex-guarded
+    snapshot). *)
+
 val find : string -> t option
 
 val run_all :

@@ -55,7 +55,9 @@ let polynomial ?name coeffs =
   Array.iter
     (fun c -> if c < 0.0 then invalid_arg "Cost_function.polynomial: negative coefficient")
     coeffs;
-  if coeffs.(0) <> 0.0 then
+  (* Exact check is intended: the constant term is a user-supplied
+     constructor argument, not a computed value. *)
+  if (coeffs.(0) <> 0.0 [@lint.allow "float-eq"]) then
     invalid_arg "Cost_function.polynomial: constant term must be 0 (f(0)=0)";
   let name =
     Option.value name
@@ -64,7 +66,10 @@ let polynomial ?name coeffs =
            (List.filteri (fun _ s -> s <> "")
               (Array.to_list
                  (Array.mapi
-                    (fun d c -> if c = 0.0 then "" else Printf.sprintf "%gx^%d" c d)
+                    (* exact zero only elides the term from the name *)
+                    (fun d c ->
+                      if (c = 0.0 [@lint.allow "float-eq"]) then ""
+                      else Printf.sprintf "%gx^%d" c d)
                     coeffs))))
   in
   { name; shape = Polynomial coeffs }
@@ -93,7 +98,10 @@ let eval t x =
   if x < 0.0 then invalid_arg "Cost_function.eval: negative miss count";
   match t.shape with
   | Linear w -> w *. x
-  | Monomial beta -> if x = 0.0 then 0.0 else Float.pow x beta
+  (* x = 0 exactly is the one point where Float.pow misbehaves (0^0=1);
+     nearby values must NOT be snapped to 0. *)
+  | Monomial beta ->
+      if (x = 0.0 [@lint.allow "float-eq"]) then 0.0 else Float.pow x beta
   | Polynomial coeffs ->
       (* Horner evaluation. *)
       let acc = ref 0.0 in
@@ -109,7 +117,11 @@ let deriv t x =
   if x < 0.0 then invalid_arg "Cost_function.deriv: negative miss count";
   match t.shape with
   | Linear w -> w
-  | Monomial beta -> if beta = 1.0 then 1.0 else beta *. Float.pow x (beta -. 1.0)
+  (* beta is a user-supplied constant; the branch only short-circuits
+     the exactly-linear case. *)
+  | Monomial beta ->
+      if (beta = 1.0 [@lint.allow "float-eq"]) then 1.0
+      else beta *. Float.pow x (beta -. 1.0)
   | Polynomial coeffs ->
       let acc = ref 0.0 in
       for d = Array.length coeffs - 1 downto 1 do

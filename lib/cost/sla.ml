@@ -14,7 +14,10 @@ let hinge ~tolerance ~penalty_rate =
   if tolerance < 0.0 then invalid_arg "Sla.hinge: negative tolerance";
   if penalty_rate <= 0.0 then invalid_arg "Sla.hinge: penalty_rate must be positive";
   let segments =
-    if tolerance = 0.0 then [| (0.0, penalty_rate) |]
+    (* tolerance is a user-supplied constant; exactly 0 degenerates to a
+       single linear segment (Piecewise rejects duplicate breakpoints) *)
+    if (tolerance = 0.0 [@lint.allow "float-eq"]) then
+      [| (0.0, penalty_rate) |]
     else [| (0.0, 0.0); (tolerance, penalty_rate) |]
   in
   Cost_function.piecewise_linear

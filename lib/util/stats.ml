@@ -76,7 +76,10 @@ let linear_fit ~xs ~ys =
     sxy := !sxy +. (dx *. (ys.(i) -. my));
     sxx := !sxx +. (dx *. dx)
   done;
-  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate xs";
+  (* Tolerance check, not [= 0.0]: accumulated squared deviations carry
+     rounding error, so near-constant xs are just as degenerate. *)
+  if Float_cmp.approx_zero !sxx then
+    invalid_arg "Stats.linear_fit: degenerate xs";
   let slope = !sxy /. !sxx in
   (slope, my -. (slope *. mx))
 
@@ -105,7 +108,7 @@ let correlation ~xs ~ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0.0 || !syy = 0.0 then 0.0
+  if Float_cmp.approx_zero !sxx || Float_cmp.approx_zero !syy then 0.0
   else !sxy /. sqrt (!sxx *. !syy)
 
 (** Histogram with [bins] equal-width buckets over [\[lo, hi)].

@@ -23,15 +23,22 @@ val geometric_mean : float array -> float
 
 val linear_fit : xs:float array -> ys:float array -> float * float
 (** Ordinary least squares [(slope, intercept)].
+
+    Degeneracy is detected tolerantly, not with exact float equality:
+    [xs] count as constant when the accumulated sum of squared
+    deviations is within {!Float_cmp.approx_zero}'s absolute tolerance
+    ({!Float_cmp.default_tol} = 1e-9) of zero.
     @raise Invalid_argument on length mismatch, fewer than two points,
-    or constant [xs]. *)
+    or (near-)constant [xs]. *)
 
 val loglog_slope : xs:float array -> ys:float array -> float
 (** Exponent of the best power-law fit [y = c * x^e]; inputs must be
     strictly positive.  Used to measure the Theorem 1.4 growth rate. *)
 
 val correlation : xs:float array -> ys:float array -> float
-(** Pearson correlation; 0 when either side is constant. *)
+(** Pearson correlation; 0 when either side is (near-)constant, i.e.
+    its sum of squared deviations is {!Float_cmp.approx_zero} at the
+    default 1e-9 absolute tolerance. *)
 
 val histogram : bins:int -> lo:float -> hi:float -> float array -> int array
 (** Equal-width counts over [\[lo, hi)]; out-of-range values clamp to

@@ -1,0 +1,3 @@
+(* Fixture: violation silenced via the allowlist file, not inline. *)
+
+let bad () = Random.bool ()

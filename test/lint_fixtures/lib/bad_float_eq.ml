@@ -1,0 +1,5 @@
+(* Fixture: float-eq — one violation, one suppressed. *)
+
+let bad x = x = 0.0
+
+let ok x = (x = 1.0 [@lint.allow "float-eq"])

@@ -1,0 +1,5 @@
+(* Fixture: no-print-in-lib — one violation, one suppressed. *)
+
+let bad () = print_endline "hi"
+
+let ok () = (print_string "quiet" [@lint.allow "no-print-in-lib"])

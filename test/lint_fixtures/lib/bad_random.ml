@@ -1,0 +1,5 @@
+(* Fixture: no-stdlib-random — one violation, one suppressed. *)
+
+let bad () = Random.int 6
+
+let ok () = (Random.int 6 [@lint.allow "no-stdlib-random"])

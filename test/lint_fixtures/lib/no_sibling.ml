@@ -1,0 +1,3 @@
+(* Fixture: mli-coverage — deliberately has no sibling interface. *)
+
+let lonely = 42

@@ -1,0 +1,5 @@
+(* Fixture: mli-coverage suppressed by a floating whole-file allow. *)
+
+[@@@lint.allow "mli-coverage"]
+
+let quiet = 1

@@ -1,0 +1,124 @@
+(* Golden tests for tools/lint/ccache_lint.exe.
+
+   The fixtures in lint_fixtures/lib contain exactly one violation per
+   rule plus one suppressed violation ([@lint.allow] inline, a floating
+   whole-file allow, or an allowlist entry).  We run the real binary
+   and assert the exact diagnostic set, the exit codes, and the
+   --format=github rendering. *)
+
+let exe = Filename.concat ".." (Filename.concat "tools" (Filename.concat "lint" "ccache_lint.exe"))
+
+let check_strings = Alcotest.(check (list string))
+let checki = Alcotest.(check int)
+
+(* Run [cmd], capturing stdout lines and the exit code. *)
+let run_capture cmd =
+  let out = Filename.temp_file "ccache_lint_test" ".out" in
+  let code = Sys.command (cmd ^ " > " ^ Filename.quote out ^ " 2> /dev/null") in
+  let ic = open_in out in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out;
+  (code, List.rev !lines)
+
+let lint args = run_capture (Filename.quote exe ^ " " ^ args)
+
+let golden =
+  [
+    "lint_fixtures/lib/bad_capture.ml:7:46: [domain-capture] closure passed \
+     to Domain_pool.parallel_iter mutates ref 'total' bound outside the \
+     closure: an unsynchronised cross-domain write (data race); accumulate \
+     per-task results and combine after await instead";
+    "lint_fixtures/lib/bad_float_eq.ml:3:12: [float-eq] exact float \
+     comparison (=) on a float operand; use Ccache_util.Float_cmp (approx_eq \
+     / approx_zero) or justify with [@lint.allow \"float-eq\"]";
+    "lint_fixtures/lib/bad_print.ml:3:13: [no-print-in-lib] direct stdout \
+     print (print_endline) in lib/; route output through Report / \
+     Ascii_table so suite reports stay byte-diffable";
+    "lint_fixtures/lib/bad_random.ml:3:13: [no-stdlib-random] reference to \
+     Stdlib.Random; draw from a seeded Ccache_util.Prng stream instead so \
+     output is reproducible at any --jobs width";
+    "lint_fixtures/lib/no_sibling.ml:1:0: [mli-coverage] lib/ module has no \
+     interface: add a sibling .mli documenting the public API (and its \
+     tolerances/contracts)";
+  ]
+
+let test_fixture_diagnostics () =
+  let code, lines =
+    lint "--allowlist lint_fixtures/allowlist.txt lint_fixtures"
+  in
+  checki "exit code signals findings" 1 code;
+  check_strings "exact diagnostic set (one per rule)" golden lines
+
+let test_clean_tree_passes () =
+  let code, lines = lint "lint_fixtures/clean" in
+  checki "clean dir exits 0" 0 code;
+  check_strings "no output on a clean tree" [] lines
+
+let test_suppressions_required () =
+  (* Without the allowlist the allowlisted fixture's finding reappears;
+     the inline/floating suppressions must still hold. *)
+  let code, lines = lint "lint_fixtures" in
+  checki "still non-zero" 1 code;
+  checki "exactly one extra finding vs golden" (List.length golden + 1)
+    (List.length lines);
+  Alcotest.(check bool)
+    "extra finding is the allowlisted one" true
+    (List.exists
+       (fun l ->
+         String.length l > 0
+         && String.sub l 0 (String.length "lint_fixtures/lib/allowlisted_random.ml")
+            = "lint_fixtures/lib/allowlisted_random.ml")
+       lines)
+
+let test_github_format () =
+  let code, lines =
+    lint "--format=github --allowlist lint_fixtures/allowlist.txt lint_fixtures"
+  in
+  checki "exit code unchanged by format" 1 code;
+  checki "same number of findings" (List.length golden) (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        "workflow-command prefix" true
+        (String.length l > 13 && String.sub l 0 13 = "::error file="))
+    lines
+
+let test_list_rules () =
+  let code, lines = lint "--list-rules" in
+  checki "list-rules exits 0" 0 code;
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule ^ " is registered") true
+        (List.exists
+           (fun l -> String.length l >= String.length rule
+                     && String.sub l 0 (String.length rule) = rule)
+           lines))
+    [
+      "no-stdlib-random"; "float-eq"; "no-print-in-lib"; "domain-capture";
+      "mli-coverage";
+    ]
+
+let () =
+  Alcotest.run "ccache_lint"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "fixture diagnostics" `Quick
+            test_fixture_diagnostics;
+          Alcotest.test_case "clean tree passes" `Quick test_clean_tree_passes;
+          Alcotest.test_case "suppression mechanisms" `Quick
+            test_suppressions_required;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "github annotations" `Quick test_github_format;
+          Alcotest.test_case "list-rules" `Quick test_list_rules;
+        ] );
+    ]

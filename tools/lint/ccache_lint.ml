@@ -1,0 +1,141 @@
+(** ccache_lint — compiler-libs static analysis for the repo's
+    conventions the type checker cannot see.
+
+    Usage:
+      ccache_lint [--format=text|github] [--allowlist FILE]
+                  [--list-rules] PATH...
+
+    Parses every [.ml]/[.mli] under the given paths (skipping [_build]
+    and dot-directories) with compiler-libs [Parse], runs each
+    registered rule, filters findings through [@lint.allow] spans and
+    the allowlist, prints [file:line:col: [rule] message] diagnostics
+    in deterministic order, and exits 1 iff any finding remains.
+    Purely syntactic — no type information is needed, so files are
+    linted without being compiled. *)
+
+type format = Text | Github
+
+let usage =
+  "usage: ccache_lint [--format=text|github] [--allowlist FILE] \
+   [--list-rules] PATH..."
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("ccache_lint: " ^ s); exit 2) fmt
+
+(* ---- file discovery (sorted, so diagnostics are deterministic) ---- *)
+
+let rec collect acc path =
+  if not (Sys.file_exists path) then fail "no such file or directory: %s" path
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "_build" || (name <> "" && name.[0] = '.') then acc
+           else collect acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+(* ---- parsing ---- *)
+
+let parse_file path : (Lint_rule.source, string) result =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      try
+        if Filename.check_suffix path ".mli" then
+          Ok (Lint_rule.Intf (Parse.interface lexbuf))
+        else Ok (Lint_rule.Impl (Parse.implementation lexbuf))
+      with exn -> Error (Printexc.to_string exn))
+
+(* ---- driver ---- *)
+
+let () =
+  let format = ref Text in
+  let allowlist = ref [] in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--format=github" :: rest -> format := Github; parse_args rest
+    | "--format=text" :: rest -> format := Text; parse_args rest
+    | "--format" :: ("github" | "text") :: _ ->
+        fail "use --format=github / --format=text"
+    | "--allowlist" :: file :: rest ->
+        allowlist := !allowlist @ Lint_suppress.load_allowlist file;
+        parse_args rest
+    | "--list-rules" :: _ ->
+        List.iter
+          (fun (r : Lint_rule.t) -> Printf.printf "%-18s %s\n" r.name r.describe)
+          Lint_registry.all;
+        exit 0
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+        fail "unknown option %s\n%s" s usage
+    | p :: rest -> paths := p :: !paths; parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then fail "no paths given\n%s" usage;
+  let files = List.fold_left collect [] (List.rev !paths) |> List.sort String.compare in
+  let al = !allowlist in
+  let diags = ref [] in
+  let spans_by_file = Hashtbl.create 64 in
+  let add path (d : Lint_diag.t) =
+    let spans =
+      Option.value (Hashtbl.find_opt spans_by_file path) ~default:[]
+    in
+    if
+      (not
+         (Lint_suppress.suppressed spans ~rule:d.rule ~cnum:d.cnum
+            ~cend:d.cend))
+      && not (Lint_suppress.allowlisted al ~rule:d.rule ~file:path)
+    then diags := d :: !diags
+  in
+  (* per-file AST rules *)
+  List.iter
+    (fun path ->
+      match parse_file path with
+      | Error msg ->
+          add path (Lint_diag.at_file_start ~file:path ~rule:"parse-error" ~msg)
+      | Ok src ->
+          Hashtbl.replace spans_by_file path (Lint_suppress.collect src);
+          List.iter
+            (fun (rule : Lint_rule.t) ->
+              match rule.check_ast with
+              | None -> ()
+              | Some check ->
+                  List.iter
+                    (fun (f : Lint_rule.finding) ->
+                      add path
+                        (Lint_diag.make ~file:path ~rule:rule.name ~msg:f.msg
+                           f.loc))
+                    (check ~path src))
+            Lint_registry.all)
+    files;
+  (* file-set rules *)
+  let ml_files = List.filter (fun f -> Filename.check_suffix f ".ml") files in
+  List.iter
+    (fun (rule : Lint_rule.t) ->
+      match rule.check_files with
+      | None -> ()
+      | Some check ->
+          List.iter
+            (fun (path, msg) ->
+              add path (Lint_diag.at_file_start ~file:path ~rule:rule.name ~msg))
+            (check ~ml_files))
+    Lint_registry.all;
+  let diags = List.sort_uniq Lint_diag.compare !diags in
+  List.iter
+    (fun d ->
+      print_endline
+        (match !format with
+        | Text -> Lint_diag.to_text d
+        | Github -> Lint_diag.to_github d))
+    diags;
+  match diags with
+  | [] -> ()
+  | _ ->
+      Printf.eprintf "ccache_lint: %d finding(s) in %d file(s) scanned\n"
+        (List.length diags) (List.length files);
+      exit 1

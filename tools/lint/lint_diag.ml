@@ -1,0 +1,49 @@
+(** Location-tagged findings and the two output formats.
+
+    Diagnostics render as [file:line:col: [rule] message] (text) or as
+    GitHub Actions [::error] workflow commands ([--format=github]), so
+    CI findings surface as inline PR annotations. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;  (** 0-based, compiler convention *)
+  cnum : int;  (** absolute start offset; used for suppression spans *)
+  cend : int;  (** absolute end offset of the flagged node *)
+  rule : string;
+  msg : string;
+}
+
+let make ~file ~rule ~msg (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    cnum = p.Lexing.pos_cnum;
+    cend = loc.Location.loc_end.Lexing.pos_cnum;
+    rule;
+    msg;
+  }
+
+let at_file_start ~file ~rule ~msg =
+  { file; line = 1; col = 0; cnum = 0; cend = 0; rule; msg }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let to_text d = Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+
+let to_github d =
+  Printf.sprintf "::error file=%s,line=%d,col=%d,title=ccache_lint %s::%s" d.file
+    d.line d.col d.rule d.msg

@@ -1,0 +1,11 @@
+(** The rule registry.  Order is cosmetic only — diagnostics are
+    sorted by location before printing. *)
+
+let all : Lint_rule.t list =
+  [
+    Rule_no_random.rule;
+    Rule_float_eq.rule;
+    Rule_no_print.rule;
+    Rule_domain_capture.rule;
+    Rule_mli_coverage.rule;
+  ]

@@ -1,0 +1,28 @@
+(** The rule interface.
+
+    A rule inspects either parsed ASTs (one file at a time) or the
+    whole scanned file set (for filesystem-level checks such as
+    mli-coverage).  Rules never filter their own findings: suppression
+    ([@lint.allow] spans and the allowlist) is applied uniformly by the
+    driver. *)
+
+type source = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type finding = { loc : Location.t; msg : string }
+
+type t = {
+  name : string;
+  describe : string;  (** one line, shown by [--list-rules] *)
+  check_ast : (path:string -> source -> finding list) option;
+  check_files : (ml_files:string list -> (string * string) list) option;
+      (** [(path, msg)] findings anchored at the start of [path]. *)
+}
+
+let finding loc msg = { loc; msg }
+
+(** [has_segment "lib" "lib/util/stats.ml"] — path-component test used
+    by the rules whose scope is a directory name, not a full path. *)
+let has_segment seg path =
+  List.exists (String.equal seg) (String.split_on_char '/' path)
+
+let lident_parts (lid : Longident.t) = Longident.flatten lid

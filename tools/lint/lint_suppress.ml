@@ -1,0 +1,133 @@
+(** Suppression: [@lint.allow "rule"] attribute spans and the
+    checked-in per-rule allowlist file.
+
+    Three granularities:
+    - [(expr [@lint.allow "rule"])] / [let f = ... [@@lint.allow "rule"]]
+      silence one rule inside the attributed node;
+    - a floating [[@@@lint.allow "rule"]] silences the rule for the
+      whole file (the only way to suppress [mli-coverage] in-source);
+    - an allowlist line [rule path/to/file.ml] silences a rule for a
+      whole file without touching it ([#] starts a comment). *)
+
+type scope = Whole_file | Span of int * int  (* [start, stop] char offsets *)
+type t = (string * scope) list
+
+let attr_name = "lint.allow"
+
+let allows_of_attrs (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt attr_name then
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+            [ s ]
+        | _ -> []
+      else [])
+    attrs
+
+let span_of (loc : Location.t) =
+  Span (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+let collect (src : Lint_rule.source) : t =
+  let acc = ref [] in
+  let add rules scope = List.iter (fun r -> acc := (r, scope) :: !acc) rules in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute a -> add (allows_of_attrs [ a ]) Whole_file
+          | _ -> ());
+          default_iterator.structure_item it si);
+      signature_item =
+        (fun it si ->
+          (match si.psig_desc with
+          | Psig_attribute a -> add (allows_of_attrs [ a ]) Whole_file
+          | _ -> ());
+          default_iterator.signature_item it si);
+      value_binding =
+        (fun it vb ->
+          add (allows_of_attrs vb.pvb_attributes) (span_of vb.pvb_loc);
+          default_iterator.value_binding it vb);
+      expr =
+        (fun it e ->
+          add (allows_of_attrs e.pexp_attributes) (span_of e.pexp_loc);
+          default_iterator.expr it e);
+      pat =
+        (fun it p ->
+          add (allows_of_attrs p.ppat_attributes) (span_of p.ppat_loc);
+          default_iterator.pat it p);
+      module_binding =
+        (fun it mb ->
+          add (allows_of_attrs mb.pmb_attributes) (span_of mb.pmb_loc);
+          default_iterator.module_binding it mb);
+    }
+  in
+  (match src with
+  | Lint_rule.Impl s -> it.structure it s
+  | Lint_rule.Intf s -> it.signature it s);
+  !acc
+
+(* Overlap, not containment: attributes bind tightly (in [c = 0.0
+   [@lint.allow "r"]] the attribute lands on the literal), so an allow
+   anywhere inside the flagged expression counts. *)
+let suppressed (spans : t) ~rule ~cnum ~cend =
+  List.exists
+    (fun (r, scope) ->
+      String.equal r rule
+      &&
+      match scope with
+      | Whole_file -> true
+      | Span (a, b) -> a <= cend && cnum <= b)
+    spans
+
+(* ---- allowlist file ---- *)
+
+type allowlist = (string * string) list  (* (rule, path) *)
+
+let load_allowlist path : allowlist =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           match
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun s -> s <> "")
+           with
+           | [] -> ()
+           | [ rule; file ] -> entries := (rule, file) :: !entries
+           | _ ->
+               failwith
+                 (Printf.sprintf "%s: malformed allowlist line %S" path line)
+         done
+       with End_of_file -> ());
+      List.rev !entries)
+
+(* Entries are repo-root-relative; accept both an exact match and a
+   suffix match so the same allowlist works from any scan root. *)
+let allowlisted (al : allowlist) ~rule ~file =
+  List.exists
+    (fun (r, p) ->
+      String.equal r rule
+      && (String.equal p file || String.ends_with ~suffix:("/" ^ p) file))
+    al

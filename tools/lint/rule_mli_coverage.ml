@@ -1,0 +1,30 @@
+(** mli-coverage: every [lib/**/*.ml] ships a sibling [.mli].
+
+    Interfaces are where the repo documents numeric tolerances and
+    determinism contracts; a module without one silently exports its
+    internals.  Filesystem-level check — suppress with a floating
+    [[@@@lint.allow "mli-coverage"]] in the [.ml] or an allowlist
+    entry. *)
+
+let check ~ml_files =
+  List.filter_map
+    (fun path ->
+      if
+        Lint_rule.has_segment "lib" path
+        && Filename.check_suffix path ".ml"
+        && not (Sys.file_exists (path ^ "i"))
+      then
+        Some
+          ( path,
+            "lib/ module has no interface: add a sibling .mli documenting \
+             the public API (and its tolerances/contracts)" )
+      else None)
+    ml_files
+
+let rule =
+  {
+    Lint_rule.name = "mli-coverage";
+    describe = "every lib/**/*.ml must have a sibling .mli";
+    check_ast = None;
+    check_files = Some check;
+  }

@@ -1,0 +1,64 @@
+(** no-print-in-lib: direct stdout printing inside [lib/].
+
+    Experiment suites are diffed byte-for-byte across [--jobs] widths;
+    stray prints from library code interleave nondeterministically with
+    the collect-then-print pipeline.  All output must flow through
+    [Report] / [Ascii_table] (the sanctioned sink is allowlisted). *)
+
+open Parsetree
+
+let banned =
+  [
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_newline" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "Printf"; "printf" ];
+  ]
+
+let is_banned lid =
+  let parts = Lint_rule.lident_parts lid in
+  let parts =
+    match parts with "Stdlib" :: rest -> rest | _ -> parts
+  in
+  List.exists (fun b -> parts = b) banned
+
+let check ~path src =
+  if not (Lint_rule.has_segment "lib" path) then []
+  else begin
+    let out = ref [] in
+    let open Ast_iterator in
+    let it =
+      {
+        default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } when is_banned txt ->
+                out :=
+                  Lint_rule.finding loc
+                    (Printf.sprintf
+                       "direct stdout print (%s) in lib/; route output \
+                        through Report / Ascii_table so suite reports stay \
+                        byte-diffable"
+                       (String.concat "." (Lint_rule.lident_parts txt)))
+                  :: !out
+            | _ -> ());
+            default_iterator.expr it e);
+      }
+    in
+    (match src with
+    | Lint_rule.Impl s -> it.structure it s
+    | Lint_rule.Intf s -> it.signature it s);
+    List.rev !out
+  end
+
+let rule =
+  {
+    Lint_rule.name = "no-print-in-lib";
+    describe = "lib/ code must not print to stdout; use Report/Ascii_table";
+    check_ast = Some check;
+    check_files = None;
+  }

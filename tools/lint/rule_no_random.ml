@@ -1,0 +1,51 @@
+(** no-stdlib-random: any reference to [Stdlib.Random].
+
+    The determinism contract (DESIGN.md, CI's jobs-1-vs-jobs-N diff)
+    requires every stochastic component to draw from seeded, splittable
+    [Ccache_util.Prng] streams.  [Random] has one global, domain-local
+    state, so outputs would depend on scheduling and [--jobs] width. *)
+
+open Parsetree
+
+let is_random lid =
+  match Lint_rule.lident_parts lid with
+  | "Random" :: _ | "Stdlib" :: "Random" :: _ -> true
+  | _ -> false
+
+let msg =
+  "reference to Stdlib.Random; draw from a seeded Ccache_util.Prng stream \
+   instead so output is reproducible at any --jobs width"
+
+let check ~path:_ src =
+  let out = ref [] in
+  let flag loc = out := Lint_rule.finding loc msg :: !out in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } when is_random txt -> flag loc
+          | _ -> ());
+          default_iterator.expr it e);
+      module_expr =
+        (fun it m ->
+          (match m.pmod_desc with
+          | Pmod_ident { txt; loc } when is_random txt -> flag loc
+          | _ -> ());
+          default_iterator.module_expr it m);
+    }
+  in
+  (match src with
+  | Lint_rule.Impl s -> it.structure it s
+  | Lint_rule.Intf s -> it.signature it s);
+  List.rev !out
+
+let rule =
+  {
+    Lint_rule.name = "no-stdlib-random";
+    describe = "Stdlib.Random breaks seeded --jobs determinism; use Ccache_util.Prng";
+    check_ast = Some check;
+    check_files = None;
+  }
