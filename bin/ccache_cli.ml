@@ -103,13 +103,62 @@ let certify_cmd trace_file workload tenants pages skew seed length k cost iters 
 
 (* --- sweep command --- *)
 
+module U = Ccache_util
+
+(* Metrics rows round-trip through the checkpoint as one tab-separated
+   line; %h floats make the replay bit-exact. *)
+let encode_row (r : Ccache_sim.Metrics.row) =
+  Printf.sprintf "%s\t%d\t%d\t%h\t%h" r.Ccache_sim.Metrics.policy
+    r.Ccache_sim.Metrics.hits r.Ccache_sim.Metrics.misses
+    r.Ccache_sim.Metrics.miss_ratio r.Ccache_sim.Metrics.cost
+
+let decode_row s =
+  match String.split_on_char '\t' s with
+  | [ policy; hits; misses; miss_ratio; cost ] -> (
+      match
+        ( int_of_string_opt hits,
+          int_of_string_opt misses,
+          float_of_string_opt miss_ratio,
+          float_of_string_opt cost )
+      with
+      | Some hits, Some misses, Some miss_ratio, Some cost ->
+          Some { Ccache_sim.Metrics.policy; hits; misses; miss_ratio; cost }
+      | _ -> None)
+  | _ -> None
+
+let row_codec = { U.Supervisor.encode = encode_row; decode = decode_row }
+
+let parse_fault ~chaos ~kill =
+  let base =
+    match chaos with
+    | Some spec -> (
+        match U.Fault.of_spec spec with
+        | Ok f -> f
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2)
+    | None -> (
+        match U.Fault.from_env () with
+        | Ok (Some f) -> f
+        | Ok None -> U.Fault.none
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2)
+  in
+  if kill = [] then base else U.Fault.kill base kill
+
 (* Multi-k (or multi-policy) sweep over one workload, evaluated on a
-   domain pool when --jobs > 1.  The trace is generated once up front
+   domain pool when --jobs > 1 and always under the supervised runner:
+   transient faults are retried, a permanently-failing cell is
+   quarantined (row omitted, note on stderr, exit 3) while the rest of
+   the sweep completes, and --checkpoint/--resume snapshot and replay
+   finished cells bit-for-bit.  The trace is generated once up front
    and shared read-only across domains; each (policy, k) cell is an
    independent simulation, so the table is identical at every job
    count. *)
 let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
-    k_factor cost flush jobs =
+    k_factor cost flush jobs timeout retries backoff chaos kill checkpoint_path
+    resume =
   if jobs < 0 then begin
     Fmt.epr "--jobs must be >= 0@.";
     exit 2
@@ -134,6 +183,10 @@ let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
             exit 2)
       policy_names
   in
+  if retries < 0 then begin
+    Fmt.epr "--retries must be >= 0@.";
+    exit 2
+  end;
   let trace = make_workload ~workload ~tenants ~pages ~skew ~seed ~length in
   let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
   let index = Ccache_trace.Trace.Index.build trace in
@@ -141,12 +194,61 @@ let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
     Ccache_sim.Sweep.geometric ~start:k_min ~stop:k_max ~factor:k_factor
   in
   let cells = Ccache_sim.Sweep.product policies ks in
-  let eval (policy, k) =
-    let r = Ccache_sim.Engine.run ~flush ~index ~k ~costs policy trace in
-    (Ccache_sim.Metrics.row ~costs r, r)
+  let task_id (policy, k) =
+    Printf.sprintf "%s/k=%d" (Ccache_sim.Policy.name policy) k
+  in
+  let fault = parse_fault ~chaos ~kill in
+  let policy_cfg =
+    {
+      U.Supervisor.default_policy with
+      max_retries = retries;
+      timeout_s = timeout;
+      backoff_base_s = backoff;
+    }
+  in
+  let fingerprint =
+    Printf.sprintf
+      "sweep-v1 workload=%s tenants=%d pages=%d skew=%h seed=%d length=%d \
+       k=%d..%d*%h cost=%s flush=%b policies=%s"
+      workload tenants pages skew seed length k_min k_max k_factor cost flush
+      (String.concat "," (List.map Ccache_sim.Policy.name policies))
+  in
+  let checkpoint =
+    match (checkpoint_path, resume) with
+    | None, false -> None
+    | None, true ->
+        Fmt.epr "--resume requires --checkpoint FILE@.";
+        exit 2
+    | Some p, true -> (
+        match U.Checkpoint.load_or_create ~path:p ~fingerprint () with
+        | Ok ck -> Some ck
+        | Error e ->
+            Fmt.epr "cannot resume: %s@." e;
+            exit 2)
+    | Some p, false -> Some (U.Checkpoint.create ~path:p ~fingerprint ())
+  in
+  let on_event = function
+    | U.Supervisor.Retrying { task; attempt; delay_s; error } ->
+        Fmt.epr "[supervisor] %s: attempt %d after %.3fs backoff (%s)@." task
+          attempt delay_s error
+    | U.Supervisor.Gave_up { task; attempts; error } ->
+        Fmt.epr "[supervisor] %s: quarantined after %d attempt(s): %s@." task
+          attempts error
+    | U.Supervisor.Replayed { task } ->
+        Fmt.epr "[supervisor] %s: replayed from checkpoint@." task
+  in
+  (* The simulation is deterministic given the shared trace; the cell's
+     derived PRNG stream is unused today but keyed on the task id so
+     stochastic cells stay retry-safe. *)
+  let eval _ctx _prng (policy, k) =
+    Ccache_sim.Metrics.row ~costs
+      (Ccache_sim.Engine.run ~flush ~index ~k ~costs policy trace)
   in
   let results =
-    let run pool = Ccache_sim.Sweep.run ?pool cells ~f:eval in
+    let run pool =
+      Ccache_sim.Sweep.run_supervised ?pool ~policy:policy_cfg ~fault
+        ?checkpoint ~codec:row_codec ~on_event ~seed ~task_id cells ~f:eval
+    in
     if jobs = 1 then run None
     else
       let size = if jobs = 0 then None else Some jobs in
@@ -160,19 +262,38 @@ let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
       ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
       [ "policy"; "k"; "misses"; "miss%"; "cost" ]
   in
+  let failures = ref [] in
   List.iter
-    (fun ((_, k), (row, _)) ->
-      Tbl.add_row tbl
-        [
-          row.Ccache_sim.Metrics.policy;
-          Tbl.cell_int k;
-          Tbl.cell_int row.Ccache_sim.Metrics.misses;
-          Tbl.cell_pct row.Ccache_sim.Metrics.miss_ratio;
-          Tbl.cell_float ~digits:2 row.Ccache_sim.Metrics.cost;
-        ])
+    (fun ((_, k), outcome) ->
+      match outcome with
+      | U.Supervisor.Completed row ->
+          Tbl.add_row tbl
+            [
+              row.Ccache_sim.Metrics.policy;
+              Tbl.cell_int k;
+              Tbl.cell_int row.Ccache_sim.Metrics.misses;
+              Tbl.cell_pct row.Ccache_sim.Metrics.miss_ratio;
+              Tbl.cell_float ~digits:2 row.Ccache_sim.Metrics.cost;
+            ]
+      | U.Supervisor.Quarantined f -> failures := f :: !failures)
     results;
   Tbl.print tbl;
-  0
+  match List.rev !failures with
+  | [] -> 0
+  | failures ->
+      List.iter
+        (fun { U.Supervisor.task; attempts; error } ->
+          Fmt.epr "quarantined: %s (after %d attempt(s)): %s@." task attempts
+            error)
+        failures;
+      (match checkpoint_path with
+      | Some p ->
+          Fmt.epr
+            "partial results checkpointed to %s; rerun with --checkpoint %s \
+             --resume to complete@."
+            p p
+      | None -> ());
+      3
 
 (* --- list command --- *)
 
@@ -224,6 +345,65 @@ let jobs_arg =
            sequential, 0 = one per core).  The table is identical at \
            every N.")
 
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"S"
+        ~doc:
+          "Per-attempt cell deadline in seconds; a cell past it is \
+           retried, then quarantined (default: none).")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Ccache_util.Supervisor.default_policy.Ccache_util.Supervisor.max_retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Retry budget for transient faults and deadline misses (default 3).")
+
+let backoff_arg =
+  Arg.(
+    value
+    & opt float
+        Ccache_util.Supervisor.default_policy.Ccache_util.Supervisor.backoff_base_s
+    & info [ "backoff" ] ~docv:"S"
+        ~doc:
+          "Base backoff before the first retry, in seconds; doubles per \
+           retry, capped at 1s (default 0.05).  Deterministic and \
+           jitter-free.")
+
+let chaos_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED:RATE"
+        ~doc:
+          "Deterministic fault injection at cell boundaries; falls back \
+           to $(b,CCACHE_CHAOS).  With retries the table is \
+           byte-identical to a fault-free run.")
+
+let kill_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "kill" ] ~docv:"ID"
+        ~doc:
+          "Inject a permanent crash into the cell with task id $(docv) \
+           (e.g. 'lru/k=64'; repeatable).  The cell is quarantined and \
+           the exit code is 3.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Snapshot completed cells to $(docv) (atomic writes).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay cells already recorded in --checkpoint FILE and \
+           compute only the rest.  Refuses a checkpoint written by a \
+           different sweep configuration.")
+
 let run_term =
   Term.(
     const run_cmd $ policy_arg $ trace_arg $ workload_arg $ tenants_arg
@@ -243,7 +423,8 @@ let sweep_term =
   Term.(
     const sweep_cmd $ policies_arg $ workload_arg $ tenants_arg $ pages_arg
     $ skew_arg $ seed_arg $ length_arg $ k_min_arg $ k_max_arg $ k_factor_arg
-    $ cost_arg $ flush_arg $ jobs_arg)
+    $ cost_arg $ flush_arg $ jobs_arg $ timeout_arg $ retries_arg $ backoff_arg
+    $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg)
 
 let cmd =
   Cmd.group

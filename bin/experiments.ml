@@ -3,16 +3,89 @@
 
     Usage:
       experiments [--full | --quick] [--markdown] [--jobs N] [ID ...]
+                  [--timeout S] [--retries N] [--backoff S] [--jitter J]
+                  [--chaos SEED:RATE] [--kill ID]
+                  [--checkpoint FILE] [--resume]
 
     With no IDs, runs the whole suite in DESIGN.md order.  [--jobs N]
     runs the selected experiments on N worker domains (0 = one per
     core); the printed report is byte-identical at every job count
-    because outputs are collected first and rendered in spec order. *)
+    because outputs are collected first and rendered in spec order.
+
+    The suite always runs under the supervised runner: injected
+    transients and deadline misses are retried with deterministic
+    backoff, and a permanently-failing experiment is quarantined (its
+    section omitted, a report on stderr, exit code 3) while the rest of
+    the suite completes.  [--chaos] / CCACHE_CHAOS inject deterministic
+    faults for testing; with the default retry budget the report is
+    byte-identical to a fault-free run.  [--checkpoint] snapshots
+    completed sections atomically; [--resume] replays them bit-for-bit. *)
 
 open Cmdliner
 module A = Ccache_analysis
+module U = Ccache_util
 
-let run full quick markdown jobs ids =
+let quarantine_exit = 3
+
+let make_fault ~chaos ~kill =
+  let base =
+    match chaos with
+    | Some spec -> (
+        match U.Fault.of_spec spec with
+        | Ok f -> f
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2)
+    | None -> (
+        match U.Fault.from_env () with
+        | Ok (Some f) -> f
+        | Ok None -> U.Fault.none
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2)
+  in
+  if kill = [] then base else U.Fault.kill base kill
+
+let make_policy ~timeout ~retries ~backoff ~jitter =
+  if retries < 0 then begin
+    Fmt.epr "--retries must be >= 0@.";
+    exit 2
+  end;
+  {
+    U.Supervisor.default_policy with
+    max_retries = retries;
+    timeout_s = timeout;
+    backoff_base_s = backoff;
+    jitter;
+  }
+
+let make_checkpoint ~path ~resume ~fingerprint =
+  match (path, resume) with
+  | None, false -> None
+  | None, true ->
+      Fmt.epr "--resume requires --checkpoint FILE@.";
+      exit 2
+  | Some p, true -> (
+      (* missing file = nothing to resume: start fresh *)
+      match U.Checkpoint.load_or_create ~path:p ~fingerprint () with
+      | Ok ck -> Some ck
+      | Error e ->
+          Fmt.epr "cannot resume: %s@." e;
+          exit 2)
+  | Some p, false -> Some (U.Checkpoint.create ~path:p ~fingerprint ())
+
+let pp_event ppf = function
+  | U.Supervisor.Retrying { task; attempt; delay_s; error } ->
+      Fmt.pf ppf "[supervisor] %s: attempt %d after %.3fs backoff (%s)" task
+        attempt delay_s error
+  | U.Supervisor.Gave_up { task; attempts; error } ->
+      Fmt.pf ppf "[supervisor] %s: quarantined after %d attempt(s): %s" task
+        attempts error
+  | U.Supervisor.Replayed { task } ->
+      Fmt.pf ppf "[supervisor] %s: replayed from checkpoint" task
+
+let run full quick markdown jobs timeout retries backoff jitter chaos kill
+    checkpoint_path resume ids =
   if full && quick then begin
     Fmt.epr "--full and --quick are mutually exclusive@.";
     exit 2
@@ -37,15 +110,43 @@ let run full quick markdown jobs ids =
     Fmt.epr "--jobs must be >= 0@.";
     exit 2
   end;
-  let report =
-    if jobs = 1 then A.Report.run_suite ~fmt ~size specs
+  let fault = make_fault ~chaos ~kill in
+  let policy = make_policy ~timeout ~retries ~backoff ~jitter in
+  let fingerprint = A.Report.fingerprint ~fmt ~size specs in
+  let checkpoint = make_checkpoint ~path:checkpoint_path ~resume ~fingerprint in
+  let on_event ev = Fmt.epr "%a@." pp_event ev in
+  let supervise pool =
+    A.Report.run_suite_supervised ~fmt ?pool ~policy ~fault ?checkpoint
+      ~on_event ~size specs
+  in
+  let { A.Report.report; failures; replayed } =
+    if jobs = 1 then supervise None
     else
       let size_opt = if jobs = 0 then None else Some jobs in
-      Ccache_util.Domain_pool.with_pool ?size:size_opt (fun pool ->
-          A.Report.run_suite ~fmt ~pool ~size specs)
+      U.Domain_pool.with_pool ?size:size_opt (fun pool -> supervise (Some pool))
   in
   print_string report;
-  0
+  if replayed <> [] then
+    Fmt.epr "[supervisor] replayed %d section(s) from %s@."
+      (List.length replayed)
+      (Option.value checkpoint_path ~default:"checkpoint");
+  if failures = [] then 0
+  else begin
+    List.iter
+      (fun { U.Supervisor.task; attempts; error } ->
+        Fmt.epr "quarantined: %s (after %d attempt(s)): %s@." task attempts
+          error)
+      failures;
+    (match checkpoint_path with
+    | Some p ->
+        Fmt.epr
+          "partial results checkpointed to %s; rerun with --checkpoint %s \
+           --resume to complete@."
+          p p
+    | None ->
+        Fmt.epr "hint: rerun with --checkpoint FILE to make the run resumable@.");
+    quarantine_exit
+  end
 
 let full =
   Arg.(value & flag & info [ "full" ] ~doc:"Full-size runs (EXPERIMENTS.md scale).")
@@ -67,12 +168,82 @@ let jobs =
            sequential, 0 = one per core, i.e. CCACHE_JOBS or the \
            recommended domain count).  Output is identical at every N.")
 
+let timeout =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"S"
+        ~doc:
+          "Per-attempt deadline in seconds; an experiment past it is \
+           retried, then quarantined (default: none).")
+
+let retries =
+  Arg.(
+    value & opt int U.Supervisor.default_policy.U.Supervisor.max_retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry budget for transient faults and deadline misses \
+           (default 3).  Backoff is deterministic and jitter-free.")
+
+let backoff =
+  Arg.(
+    value & opt float U.Supervisor.default_policy.U.Supervisor.backoff_base_s
+    & info [ "backoff" ] ~docv:"S"
+        ~doc:
+          "Base backoff before the first retry, in seconds; doubles per \
+           retry, capped at 1s (default 0.05).")
+
+let jitter =
+  Arg.(
+    value & opt float 0.
+    & info [ "jitter" ] ~docv:"J"
+        ~doc:
+          "Seeded backoff jitter fraction in [0,1] (default 0 = \
+           jitter-free; any value stays deterministic).")
+
+let chaos =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED:RATE"
+        ~doc:
+          "Deterministic fault injection at task boundaries (transient \
+           exceptions and short delays).  Falls back to the \
+           $(b,CCACHE_CHAOS) environment variable.  With retries \
+           enabled the report is byte-identical to a fault-free run.")
+
+let kill =
+  Arg.(
+    value & opt_all string []
+    & info [ "kill" ] ~docv:"ID"
+        ~doc:
+          "Inject a permanent crash into experiment $(docv) (repeatable). \
+           The cell is quarantined; the rest of the suite completes and \
+           the exit code is 3.")
+
+let checkpoint =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Snapshot completed sections to $(docv) (atomic write on every \
+           completion), making the run resumable.")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay sections already recorded in --checkpoint FILE \
+           bit-for-bit and compute only the rest.  Refuses a checkpoint \
+           written by a different configuration.")
+
 let ids =
-  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10).")
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e14).")
 
 let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the convex-caching experiment suite")
-    Term.(const run $ full $ quick $ markdown $ jobs $ ids)
+    Term.(
+      const run $ full $ quick $ markdown $ jobs $ timeout $ retries $ backoff
+      $ jitter $ chaos $ kill $ checkpoint $ resume $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -41,3 +41,15 @@ let output ~id ~title ?(notes = []) tables = { id; title; tables; notes }
     own PRNGs internally and shares no mutable state). *)
 let run_all ?pool ~size specs =
   Ccache_util.Domain_pool.map_list ?pool ~f:(fun e -> e.run size) specs
+
+(** Supervised runner: one raising experiment is quarantined (its slot
+    reports the failure) while the rest of the suite completes; injected
+    transients and deadline misses are retried.  Experiments re-seed
+    their own PRNGs on every call, so a retried run recomputes exactly
+    the first attempt's tables and outputs stay byte-identical. *)
+let run_all_supervised ?pool ?policy ?fault ?on_event ~size specs =
+  let module S = Ccache_util.Supervisor in
+  let tasks =
+    List.map (fun e -> { S.id = e.id; run = (fun _ctx -> e.run size) }) specs
+  in
+  List.combine specs (S.run ?pool ?policy ?fault ?on_event tasks)

@@ -41,3 +41,17 @@ val run_all :
 (** Run experiments (in parallel when [?pool] is given), returning
     outputs in spec order.  Every experiment derives its randomness
     from fixed seeds, so the outputs are identical at any pool size. *)
+
+val run_all_supervised :
+  ?pool:Ccache_util.Domain_pool.t ->
+  ?policy:Ccache_util.Supervisor.policy ->
+  ?fault:Ccache_util.Fault.t ->
+  ?on_event:(Ccache_util.Supervisor.event -> unit) ->
+  size:size ->
+  t list ->
+  (t * output Ccache_util.Supervisor.outcome) list
+(** Like {!run_all} under supervision: a crashing experiment is
+    quarantined in place while every other spec completes; injected
+    transients and deadline misses are retried.  Experiments re-seed
+    internally on each call, so retries reproduce the first attempt's
+    output bit-for-bit and the completed outputs match {!run_all}'s. *)

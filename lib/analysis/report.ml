@@ -36,3 +36,59 @@ let run_suite ?(fmt = Text) ?pool ~size specs =
   Experiment.run_all ?pool ~size specs
   |> List.map (render_output fmt)
   |> String.concat ""
+
+(* ------------------------------------------------------------------ *)
+(* Supervised suites: quarantine, chaos, checkpoint/resume             *)
+(* ------------------------------------------------------------------ *)
+
+module S = Ccache_util.Supervisor
+
+type supervised = {
+  report : string;  (** completed sections, concatenated in spec order *)
+  failures : S.failure list;  (** quarantined experiments, spec order *)
+  replayed : string list;  (** ids served from the checkpoint *)
+}
+
+let fmt_tag = function Text -> "text" | Markdown -> "markdown"
+let size_tag = function Experiment.Quick -> "quick" | Experiment.Full -> "full"
+
+(* Everything that affects a section's bytes goes into the fingerprint,
+   so a checkpoint can only replay into the configuration that wrote
+   it (Checkpoint.load rejects mismatches). *)
+let fingerprint ~fmt ~size specs =
+  Printf.sprintf "suite-v1 fmt=%s size=%s ids=%s" (fmt_tag fmt) (size_tag size)
+    (String.concat "," (List.map (fun e -> e.Experiment.id) specs))
+
+(* Rendering happens inside the task, so the checkpoint stores the
+   section's final bytes and a resume replays them verbatim. *)
+let run_suite_supervised ?(fmt = Text) ?pool ?policy ?fault ?checkpoint
+    ?on_event ~size specs =
+  let replayed_lock = Mutex.create () in
+  let replayed = ref [] in
+  let observe ev =
+    (match ev with
+    | S.Replayed { task } ->
+        (* already serialised by the supervisor's event mutex, but stay
+           self-contained in case callers ever emit directly *)
+        Mutex.protect replayed_lock (fun () -> replayed := task :: !replayed)
+    | _ -> ());
+    match on_event with None -> () | Some f -> f ev
+  in
+  let tasks =
+    List.map
+      (fun e ->
+        {
+          S.id = e.Experiment.id;
+          run = (fun _ctx -> render_output fmt (e.Experiment.run size));
+        })
+      specs
+  in
+  let outcomes =
+    S.run ?pool ?policy ?fault ?checkpoint ~codec:S.string_codec
+      ~on_event:observe tasks
+  in
+  {
+    report = String.concat "" (S.completed outcomes);
+    failures = S.failures outcomes;
+    replayed = List.rev !replayed;
+  }

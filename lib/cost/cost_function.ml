@@ -40,12 +40,19 @@ let name t = t.name
 (* Constructors                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let require_finite ~fn ~field v =
+  if not (Float.is_finite v) then
+    invalid_arg
+      (Printf.sprintf "Cost_function.%s: %s = %g is not finite" fn field v)
+
 let linear ?name ~slope () =
+  require_finite ~fn:"linear" ~field:"slope" slope;
   if slope < 0.0 then invalid_arg "Cost_function.linear: negative slope";
   let name = Option.value name ~default:(Printf.sprintf "linear(w=%g)" slope) in
   { name; shape = Linear slope }
 
 let monomial ?name ~beta () =
+  require_finite ~fn:"monomial" ~field:"beta" beta;
   if beta < 1.0 then invalid_arg "Cost_function.monomial: beta must be >= 1";
   let name = Option.value name ~default:(Printf.sprintf "x^%g" beta) in
   { name; shape = Monomial beta }
@@ -53,7 +60,9 @@ let monomial ?name ~beta () =
 let polynomial ?name coeffs =
   if Array.length coeffs = 0 then invalid_arg "Cost_function.polynomial: empty";
   Array.iter
-    (fun c -> if c < 0.0 then invalid_arg "Cost_function.polynomial: negative coefficient")
+    (fun c ->
+      require_finite ~fn:"polynomial" ~field:"coefficient" c;
+      if c < 0.0 then invalid_arg "Cost_function.polynomial: negative coefficient")
     coeffs;
   (* Exact check is intended: the constant term is a user-supplied
      constructor argument, not a computed value. *)
@@ -80,6 +89,8 @@ let piecewise_linear ?name segments =
   { name; shape = Piecewise_linear segs }
 
 let exponential ?name ~rate ~scale () =
+  require_finite ~fn:"exponential" ~field:"rate" rate;
+  require_finite ~fn:"exponential" ~field:"scale" scale;
   if rate <= 0.0 || scale <= 0.0 then
     invalid_arg "Cost_function.exponential: rate and scale must be positive";
   let name =
@@ -95,6 +106,9 @@ let custom ~name ~eval ~deriv ?alpha () =
 (* ------------------------------------------------------------------ *)
 
 let eval t x =
+  (* NaN fails `x < 0.0` silently, then poisons every theorem check
+     downstream; reject it (and infinities) at the boundary instead. *)
+  require_finite ~fn:"eval" ~field:"x" x;
   if x < 0.0 then invalid_arg "Cost_function.eval: negative miss count";
   match t.shape with
   | Linear w -> w *. x
@@ -114,6 +128,7 @@ let eval t x =
   | Custom { eval; _ } -> eval x
 
 let deriv t x =
+  require_finite ~fn:"deriv" ~field:"x" x;
   if x < 0.0 then invalid_arg "Cost_function.deriv: negative miss count";
   match t.shape with
   | Linear w -> w
@@ -213,6 +228,7 @@ let alpha ?(max_x = 1_000_000.0) t =
 
 (** Pointwise scaling by [c > 0]; alpha is unchanged. *)
 let scale ~by t =
+  require_finite ~fn:"scale" ~field:"by" by;
   if by <= 0.0 then invalid_arg "Cost_function.scale: factor must be positive";
   {
     name = Printf.sprintf "%g*(%s)" by t.name;

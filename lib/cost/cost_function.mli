@@ -41,7 +41,10 @@ val pp : Format.formatter -> t -> unit
     Each validates its parameters and raises [Invalid_argument] on
     shapes that cannot satisfy f(0) = 0, monotonicity or convexity by
     construction ([custom] is unchecked — see {!Calculus} for runtime
-    validation). *)
+    validation).  Non-finite parameters (NaN, infinities) are rejected
+    with a message naming the offending field — a NaN slope would
+    otherwise slip past the sign checks and silently poison every
+    downstream theorem check. *)
 
 val linear : ?name:string -> slope:float -> unit -> t
 val monomial : ?name:string -> beta:float -> unit -> t
@@ -60,10 +63,12 @@ val custom :
 (** {1 Evaluation} *)
 
 val eval : t -> float -> float
-(** [eval f x] is f(x). @raise Invalid_argument if [x < 0]. *)
+(** [eval f x] is f(x). @raise Invalid_argument if [x < 0] or [x] is
+    not finite (the error names the field). *)
 
 val deriv : t -> float -> float
-(** Analytic derivative (right derivative at piecewise breakpoints). *)
+(** Analytic derivative (right derivative at piecewise breakpoints).
+    Rejects negative and non-finite [x] like {!eval}. *)
 
 val marginal : t -> int -> float
 (** [marginal f x] = f(x) - f(x-1), the cost of the [x]-th miss.

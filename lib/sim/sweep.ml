@@ -45,3 +45,26 @@ let run_seeded ?pool ~seed points ~f =
   let parent = Ccache_util.Prng.create ~seed in
   let cells = List.map (fun p -> (p, Ccache_util.Prng.split parent)) points in
   Ccache_util.Domain_pool.map_list ?pool cells ~f:(fun (p, g) -> (p, f g p))
+
+(** Supervised sweep: deadlines, retry, quarantine, checkpoint replay.
+    Each cell's stream is keyed on [(seed, task_id p)] — not on split
+    order — so every retry (and every resume) rebuilds the exact
+    stream the first attempt saw; convergence to the fault-free output
+    follows.  See [Ccache_util.Supervisor] for the failure model. *)
+let run_supervised ?pool ?policy ?fault ?checkpoint ?codec ?on_event ~seed
+    ~task_id points ~f =
+  let module S = Ccache_util.Supervisor in
+  let tasks =
+    List.map
+      (fun p ->
+        let id = task_id p in
+        {
+          S.id;
+          run =
+            (fun ctx ->
+              f ctx (Ccache_util.Prng.derive ~seed ~key:id) p);
+        })
+      points
+  in
+  let outcomes = S.run ?pool ?policy ?fault ?checkpoint ?codec ?on_event tasks in
+  List.combine points outcomes

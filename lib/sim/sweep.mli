@@ -26,3 +26,28 @@ val run_seeded :
     stream derived deterministically from [seed] and the cell index
     before any cell executes.  Output is bit-for-bit identical across
     pool sizes, including no pool at all. *)
+
+val run_supervised :
+  ?pool:Ccache_util.Domain_pool.t ->
+  ?policy:Ccache_util.Supervisor.policy ->
+  ?fault:Ccache_util.Fault.t ->
+  ?checkpoint:Ccache_util.Checkpoint.t ->
+  ?codec:'b Ccache_util.Supervisor.codec ->
+  ?on_event:(Ccache_util.Supervisor.event -> unit) ->
+  seed:int ->
+  task_id:('a -> string) ->
+  'a list ->
+  f:(Ccache_util.Supervisor.ctx -> Ccache_util.Prng.t -> 'a -> 'b) ->
+  ('a * 'b Ccache_util.Supervisor.outcome) list
+(** Supervised variant of {!run_seeded}: per-cell deadlines and
+    cooperative cancellation (the [ctx]), bounded deterministic retry,
+    quarantine of permanently-failing cells, fault injection, and
+    checkpoint replay ([?checkpoint] requires [?codec]).
+
+    Determinism: each cell's stream is {!Ccache_util.Prng.derive}d from
+    [(seed, task_id cell)] — independent of split order, position, and
+    attempt number — so a retried (or resumed) cell recomputes exactly
+    what an undisturbed first attempt would have, and a run with
+    injected transient faults is byte-identical to a fault-free run at
+    any pool width.  [task_id] must be injective over [points]
+    (duplicate ids raise [Invalid_argument]). *)

@@ -28,27 +28,35 @@ type pattern =
   | Mixture of (float * pattern) list
       (** each request drawn from pattern [p_i] with weight [w_i] *)
 
+let require_finite ~field v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Workloads: %s = %g is not finite" field v)
+
 let rec validate_pattern = function
   | Uniform { pages } | Cycle { pages } ->
       if pages <= 0 then invalid_arg "Workloads: pattern needs pages > 0"
   | Zipf { pages; skew } ->
       if pages <= 0 then invalid_arg "Workloads: pattern needs pages > 0";
+      require_finite ~field:"skew" skew;
       if skew < 0.0 then invalid_arg "Workloads: negative skew"
   | Sequential_scan { pages; passes } ->
       if pages <= 0 || passes < 0 then invalid_arg "Workloads: bad scan spec"
   | Hot_cold { pages; hot_pages; hot_prob } ->
       if pages <= 0 || hot_pages <= 0 || hot_pages > pages then
         invalid_arg "Workloads: bad hot/cold split";
+      require_finite ~field:"hot_prob" hot_prob;
       if hot_prob < 0.0 || hot_prob > 1.0 then
         invalid_arg "Workloads: hot_prob outside [0,1]"
   | Drifting_zipf { pages; window; skew; shift_every } ->
       if pages <= 0 || window <= 0 || window > pages || shift_every <= 0 then
         invalid_arg "Workloads: bad drift spec";
+      require_finite ~field:"skew" skew;
       if skew < 0.0 then invalid_arg "Workloads: negative skew"
   | Mixture parts ->
       if parts = [] then invalid_arg "Workloads: empty mixture";
       List.iter
         (fun (w, p) ->
+          require_finite ~field:"mixture weight" w;
           if w <= 0.0 then invalid_arg "Workloads: nonpositive mixture weight";
           validate_pattern p)
         parts
@@ -113,6 +121,7 @@ type tenant_spec = {
 }
 
 let tenant ?(weight = 1.0) pattern =
+  require_finite ~field:"tenant weight" weight;
   if weight <= 0.0 then invalid_arg "Workloads.tenant: weight must be positive";
   { pattern; weight }
 

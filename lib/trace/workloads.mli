@@ -24,7 +24,10 @@ type pattern =
   | Mixture of (float * pattern) list
 
 val validate_pattern : pattern -> unit
-(** @raise Invalid_argument on malformed parameters. *)
+(** @raise Invalid_argument on malformed parameters, including
+    non-finite floats (NaN skew, infinite hot_prob, ...) — the message
+    names the offending field.  A NaN would otherwise pass the sign
+    checks and silently corrupt every generated trace. *)
 
 val footprint : pattern -> int
 (** Number of distinct page ids the pattern can emit. *)
@@ -38,7 +41,8 @@ type tenant_spec = {
 }
 
 val tenant : ?weight:float -> pattern -> tenant_spec
-(** @raise Invalid_argument if [weight <= 0]. *)
+(** @raise Invalid_argument if [weight <= 0] or [weight] is not
+    finite. *)
 
 val generate : seed:int -> length:int -> tenant_spec list -> Trace.t
 (** Tenant [i]'s pages get user id [i]; each request picks a tenant

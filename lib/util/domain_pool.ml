@@ -4,9 +4,14 @@
     One mutex + condition guards the task queue; each future carries
     its own mutex + condition so awaiters never contend with the queue.
     Workers drain the queue even after [shutdown] is requested, which
-    is what makes shutdown graceful rather than abortive. *)
+    is what makes shutdown graceful rather than abortive; [shutdown_now]
+    instead cancels queued entries (each queue item carries a [cancel]
+    callback that fails its future with [Pool_shutdown]) so awaiters
+    raise rather than hang. *)
 
-type task = unit -> unit
+exception Pool_shutdown
+
+type task = { run : unit -> unit; cancel : unit -> unit }
 
 type t = {
   lock : Mutex.t;  (** guards [queue], [stop] *)
@@ -59,7 +64,7 @@ let rec worker_loop t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.lock;
-    task ();
+    task.run ();
     worker_loop t
   end
 
@@ -80,27 +85,31 @@ let create ?size () =
   t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
+let resolve fut result =
+  Mutex.lock fut.flock;
+  fut.state <- result;
+  Condition.broadcast fut.fcond;
+  Mutex.unlock fut.flock
+
 let submit t f =
   let fut =
     { flock = Mutex.create (); fcond = Condition.create (); state = Pending }
   in
-  let task () =
+  let run () =
     let result =
       match f () with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
-    Mutex.lock fut.flock;
-    fut.state <- result;
-    Condition.broadcast fut.fcond;
-    Mutex.unlock fut.flock
+    resolve fut result
   in
+  let cancel () = resolve fut (Failed (Pool_shutdown, Printexc.get_callstack 0)) in
   Mutex.lock t.lock;
   if t.stop then begin
     Mutex.unlock t.lock;
     invalid_arg "Domain_pool.submit: pool is shut down"
   end;
-  Queue.push task t.queue;
+  Queue.push { run; cancel } t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock;
   fut
@@ -149,16 +158,34 @@ let parallel_iter ?chunk t ~f xs =
   in
   parallel_map t ~f:(List.iter f) (chunks chunk xs) |> ignore
 
-let shutdown t =
+(* Both shutdown flavours are idempotent and may be mixed: whoever
+   observes [stop] already set returns without touching the (already
+   empty or already cancelled) queue, and [workers = []] makes the
+   join a no-op. *)
+let shutdown_with ~drain t =
   Mutex.lock t.lock;
   if t.stop then Mutex.unlock t.lock
   else begin
     t.stop <- true;
+    let cancelled =
+      if drain then []
+      else begin
+        (* abortive: queued tasks never run; fail their futures so
+           awaiters raise Pool_shutdown instead of hanging forever *)
+        let cs = Queue.fold (fun acc task -> task.cancel :: acc) [] t.queue in
+        Queue.clear t.queue;
+        cs
+      end
+    in
     Condition.broadcast t.nonempty;
     Mutex.unlock t.lock;
+    List.iter (fun cancel -> cancel ()) cancelled;
     List.iter Domain.join t.workers;
     t.workers <- []
   end
+
+let shutdown t = shutdown_with ~drain:true t
+let shutdown_now t = shutdown_with ~drain:false t
 
 let with_pool ?size f =
   let t = create ?size () in

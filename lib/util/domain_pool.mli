@@ -16,6 +16,11 @@
     blocking on a future that only its own worker could run can
     deadlock the pool.  Fan-out happens at one level only. *)
 
+exception Pool_shutdown
+(** Raised by {!await} on a future whose task was discarded by
+    {!shutdown_now} before a worker picked it up.  Guarantees an
+    awaiter of a cancelled task raises rather than hangs. *)
+
 type t
 (** A pool of worker domains. *)
 
@@ -58,7 +63,17 @@ val parallel_iter : ?chunk:int -> t -> f:('a -> unit) -> 'a list -> unit
 
 val shutdown : t -> unit
 (** Graceful shutdown: workers finish every queued task, then exit and
-    are joined.  Idempotent.  [submit] after [shutdown] raises. *)
+    are joined, so no future submitted before the call is left pending
+    — every [await] returns (or re-raises) normally.  Idempotent: a
+    second call (of either flavour) is a no-op.  [submit] after
+    [shutdown] raises [Invalid_argument]. *)
+
+val shutdown_now : t -> unit
+(** Abortive shutdown: tasks already running complete (their futures
+    resolve normally), but queued tasks are discarded and their
+    futures fail — [await] on them raises {!Pool_shutdown} rather than
+    hanging.  Idempotent, and freely mixable with {!shutdown} (the
+    first call wins). *)
 
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down

@@ -26,6 +26,29 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* FNV-1a, 64-bit: a deterministic, platform-independent string hash
+   (Hashtbl.hash is unspecified across versions, so it would break the
+   bit-reproducibility contract). *)
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+(** [derive ~seed ~key] keys a fresh stream on [(seed, key)] alone — no
+    split-order dependence — so supervised retries and checkpoint
+    resumes can rebuild a task's exact stream from its id. *)
+let derive ~seed ~key =
+  let t =
+    { state = Int64.logxor (Int64.mul (Int64.of_int seed) golden_gamma) (hash_string key) }
+  in
+  (* one step so that correlated (seed, key) pairs decorrelate through
+     the SplitMix64 finalizer before the first caller-visible draw *)
+  ignore (next_int64 t);
+  t
+
 (** Uniform integer in [\[0, bound)]. Raises [Invalid_argument] if
     [bound <= 0]. *)
 let int t bound =

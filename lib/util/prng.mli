@@ -18,6 +18,17 @@ val split : t -> t
 (** [split t] derives an independent child generator; the parent
     advances, so repeated splits yield distinct streams. *)
 
+val hash_string : string -> int64
+(** Deterministic, platform-independent 64-bit FNV-1a hash (unlike
+    [Hashtbl.hash], stable across OCaml versions). *)
+
+val derive : seed:int -> key:string -> t
+(** [derive ~seed ~key] is a stream that depends only on [(seed, key)]
+    — not on any split order — so a task's stream can be re-derived
+    from its id alone.  This is what makes supervised retries and
+    checkpoint resumes bit-reproducible: every attempt of task [key]
+    starts from the same state. *)
+
 val next_int64 : t -> int64
 (** Raw 64-bit output (advances the state). *)
 

@@ -1,0 +1,231 @@
+(** Supervision layer over {!Domain_pool}: deadlines, bounded retry
+    with deterministic backoff, crash quarantine, checkpoint replay.
+    The .mli documents the failure model; DESIGN.md Section 8 explains
+    why determinism survives retries. *)
+
+exception Timed_out of { task : string; elapsed_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Timed_out { task; elapsed_s } ->
+        Some
+          (Printf.sprintf "Supervisor.Timed_out(task=%s, elapsed=%.3fs)" task
+             elapsed_s)
+    | _ -> None)
+
+type policy = {
+  max_retries : int;
+  timeout_s : float option;
+  backoff_base_s : float;
+  backoff_factor : float;
+  backoff_max_s : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_policy =
+  {
+    max_retries = 3;
+    timeout_s = None;
+    backoff_base_s = 0.05;
+    backoff_factor = 2.0;
+    backoff_max_s = 1.0;
+    jitter = 0.0;
+    seed = 0;
+  }
+
+let validate_policy p =
+  if p.max_retries < 0 then
+    invalid_arg "Supervisor: max_retries must be >= 0";
+  (match p.timeout_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+      invalid_arg
+        (Printf.sprintf "Supervisor: timeout_s = %g must be finite and > 0" s)
+  | _ -> ());
+  if not (Float.is_finite p.backoff_base_s) || p.backoff_base_s < 0.0 then
+    invalid_arg "Supervisor: backoff_base_s must be finite and >= 0";
+  if not (Float.is_finite p.backoff_factor) || p.backoff_factor < 1.0 then
+    invalid_arg "Supervisor: backoff_factor must be finite and >= 1";
+  if not (Float.is_finite p.backoff_max_s) || p.backoff_max_s < 0.0 then
+    invalid_arg "Supervisor: backoff_max_s must be finite and >= 0";
+  if not (Float.is_finite p.jitter) || p.jitter < 0.0 || p.jitter > 1.0 then
+    invalid_arg "Supervisor: jitter must be in [0, 1]"
+
+(* Pure so tests can assert the exact schedule.  [attempt] is the
+   0-based attempt that just failed; the delay precedes attempt+1. *)
+let backoff_delay policy ~task ~attempt =
+  if policy.backoff_base_s <= 0.0 then 0.0
+  else
+    let d =
+      policy.backoff_base_s *. (policy.backoff_factor ** float_of_int attempt)
+    in
+    let d = Float.min d policy.backoff_max_s in
+    if policy.jitter <= 0.0 then d
+    else
+      (* Seeded jitter keyed on (seed, task, attempt): still fully
+         deterministic, merely decorrelated across tasks. *)
+      let g =
+        Prng.derive ~seed:policy.seed
+          ~key:(task ^ "/backoff#" ^ string_of_int attempt)
+      in
+      let scale = 1.0 -. policy.jitter +. (2.0 *. policy.jitter *. Prng.float g) in
+      Float.min (d *. scale) policy.backoff_max_s
+
+(* ------------------------------------------------------------------ *)
+(* Task context: cooperative cancellation                              *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  ctx_task : string;
+  ctx_attempt : int;
+  started : float;
+  deadline : float option;
+}
+
+let task_id ctx = ctx.ctx_task
+let attempt ctx = ctx.ctx_attempt
+
+let check ctx =
+  match ctx.deadline with
+  | Some d when Unix.gettimeofday () > d ->
+      raise
+        (Timed_out
+           { task = ctx.ctx_task; elapsed_s = Unix.gettimeofday () -. ctx.started })
+  | _ -> ()
+
+let unsupervised_ctx ~task =
+  { ctx_task = task; ctx_attempt = 0; started = 0.0; deadline = None }
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes and events                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type failure = { task : string; attempts : int; error : string }
+
+type 'a outcome = Completed of 'a | Quarantined of failure
+
+type event =
+  | Retrying of { task : string; attempt : int; delay_s : float; error : string }
+  | Gave_up of failure
+  | Replayed of { task : string }
+
+type 'a task = { id : string; run : ctx -> 'a }
+type 'a codec = { encode : 'a -> string; decode : string -> 'a option }
+
+let string_codec = { encode = Fun.id; decode = Option.some }
+
+let completed outcomes =
+  List.filter_map (function Completed v -> Some v | Quarantined _ -> None) outcomes
+
+let failures outcomes =
+  List.filter_map (function Quarantined f -> Some f | Completed _ -> None) outcomes
+
+let error_message e =
+  match e with
+  | Failure m -> m
+  | Invalid_argument m -> "Invalid_argument: " ^ m
+  | e -> Printexc.to_string e
+
+(* Only wall-clock events are worth a second attempt: injected
+   transients (gone by construction on attempt >= 1) and deadline
+   misses.  Anything else a deterministic task raised once it will
+   raise forever, so we quarantine immediately rather than burn the
+   retry budget re-proving it. *)
+let retryable = function
+  | Fault.Injected_transient _ | Timed_out _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The runner                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_distinct_ids tasks =
+  let seen = Hashtbl.create (List.length tasks) in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.id then
+        invalid_arg (Printf.sprintf "Supervisor.run: duplicate task id %S" t.id);
+      Hashtbl.replace seen t.id ())
+    tasks
+
+let run ?pool ?(policy = default_policy) ?(fault = Fault.none) ?checkpoint
+    ?codec ?on_event tasks =
+  validate_policy policy;
+  check_distinct_ids tasks;
+  (match (checkpoint, codec) with
+  | Some _, None ->
+      invalid_arg "Supervisor.run: ?checkpoint requires a ?codec to replay"
+  | _ -> ());
+  (* Serialise event delivery: callbacks fire on worker domains. *)
+  let emit_lock = Mutex.create () in
+  let emit ev =
+    match on_event with
+    | None -> ()
+    | Some f -> Mutex.protect emit_lock (fun () -> f ev)
+  in
+  let replay task =
+    match (checkpoint, codec) with
+    | Some ck, Some c -> (
+        match Checkpoint.find ck task.id with
+        | None -> None
+        | Some payload -> c.decode payload (* undecodable entry: recompute *))
+    | _ -> None
+  in
+  let record task v =
+    match (checkpoint, codec) with
+    | Some ck, Some c -> Checkpoint.record ck ~id:task.id (c.encode v)
+    | _ -> ()
+  in
+  let run_task task =
+    match replay task with
+    | Some v ->
+        emit (Replayed { task = task.id });
+        Completed v
+    | None ->
+        let rec go att =
+          let started = Unix.gettimeofday () in
+          let ctx =
+            {
+              ctx_task = task.id;
+              ctx_attempt = att;
+              started;
+              deadline = Option.map (fun s -> started +. s) policy.timeout_s;
+            }
+          in
+          match
+            Fault.at_boundary fault ~task:task.id ~attempt:att;
+            let v = task.run ctx in
+            (* Closing boundary check: even a task that never calls
+               [check] cannot return a result past its deadline. *)
+            check ctx;
+            v
+          with
+          | v ->
+              record task v;
+              Completed v
+          | exception e when retryable e && att < policy.max_retries ->
+              let delay_s = backoff_delay policy ~task:task.id ~attempt:att in
+              emit
+                (Retrying
+                   {
+                     task = task.id;
+                     attempt = att + 1;
+                     delay_s;
+                     error = error_message e;
+                   });
+              if delay_s > 0.0 then Unix.sleepf delay_s;
+              go (att + 1)
+          | exception e ->
+              let f =
+                { task = task.id; attempts = att + 1; error = error_message e }
+              in
+              emit (Gave_up f);
+              Quarantined f
+        in
+        go 0
+  in
+  (* run_task never raises, so one quarantined task cannot abort the
+     map: every other future still completes and keeps its slot. *)
+  let outcomes = Domain_pool.map_list ?pool ~f:run_task tasks in
+  Option.iter Checkpoint.flush checkpoint;
+  outcomes

@@ -1,0 +1,19 @@
+(* Fixture: the fault-injection idiom used by Ccache_util.Fault.
+   Every stochastic decision — delay?, delay magnitude, transient? —
+   is drawn from a seeded Prng stream derived from (seed, task,
+   attempt), never from Stdlib.Random, so the no-stdlib-random rule
+   must stay silent without any allowlist entry.  Probability
+   comparisons use [<] / [<=] (never float [=]), so float-eq must stay
+   silent too. *)
+
+exception Injected_transient of { task : string; attempt : int }
+
+let at_boundary ~seed ~rate ~max_delay_s ~task ~attempt =
+  if rate > 0.0 then begin
+    let key = task ^ "#" ^ string_of_int attempt in
+    let g = Prng.derive ~seed ~key in
+    if Prng.bernoulli g ~p:(rate /. 2.0) && max_delay_s > 0.0 then
+      Clock.sleep (Prng.float_range g max_delay_s);
+    if attempt < 1 && Prng.bernoulli g ~p:rate then
+      raise (Injected_transient { task; attempt })
+  end

@@ -269,6 +269,36 @@ let piecewise_convex_increasing =
       let f = Cf.piecewise_linear segs in
       Calc.is_valid_for_guarantee ~max_x:200.0 f)
 
+(* NaN slips past sign checks (every comparison with NaN is false), so
+   non-finite parameters need their own rejection path naming the
+   offending field. *)
+let test_float_hygiene () =
+  Alcotest.check_raises "nan slope"
+    (Invalid_argument "Cost_function.linear: slope = nan is not finite")
+    (fun () -> ignore (Cf.linear ~slope:Float.nan ()));
+  Alcotest.check_raises "inf beta"
+    (Invalid_argument "Cost_function.monomial: beta = inf is not finite")
+    (fun () -> ignore (Cf.monomial ~beta:Float.infinity ()));
+  Alcotest.check_raises "nan coefficient"
+    (Invalid_argument "Cost_function.polynomial: coefficient = nan is not finite")
+    (fun () -> ignore (Cf.polynomial [| 0.0; Float.nan |]));
+  Alcotest.check_raises "nan exponential rate"
+    (Invalid_argument "Cost_function.exponential: rate = nan is not finite")
+    (fun () -> ignore (Cf.exponential ~rate:Float.nan ~scale:1.0 ()));
+  Alcotest.check_raises "inf exponential scale"
+    (Invalid_argument "Cost_function.exponential: scale = inf is not finite")
+    (fun () -> ignore (Cf.exponential ~rate:1.0 ~scale:Float.infinity ()));
+  let f = Cf.linear ~slope:2.0 () in
+  Alcotest.check_raises "nan eval point"
+    (Invalid_argument "Cost_function.eval: x = nan is not finite") (fun () ->
+      ignore (Cf.eval f Float.nan));
+  Alcotest.check_raises "inf deriv point"
+    (Invalid_argument "Cost_function.deriv: x = inf is not finite") (fun () ->
+      ignore (Cf.deriv f Float.infinity));
+  Alcotest.check_raises "nan scale factor"
+    (Invalid_argument "Cost_function.scale: by = nan is not finite") (fun () ->
+      ignore (Cf.scale ~by:Float.nan f))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -282,6 +312,7 @@ let () =
           Alcotest.test_case "exponential" `Quick test_exponential;
           Alcotest.test_case "combinators" `Quick test_custom_and_combinators;
           Alcotest.test_case "negative rejected" `Quick test_eval_negative_rejected;
+          Alcotest.test_case "non-finite rejected" `Quick test_float_hygiene;
           Alcotest.test_case "rate modes" `Quick test_rate_modes;
         ] );
       ( "piecewise",

@@ -64,6 +64,47 @@ let test_shutdown () =
   | _ -> Alcotest.fail "with_pool should re-raise"
   | exception Boom 1 -> ()
 
+let test_shutdown_now () =
+  (* One worker, pinned on a blocker task, so the five queued tasks are
+     provably still in the queue when shutdown_now drains it: their
+     futures must fail with Pool_shutdown rather than hang, while the
+     already-running blocker completes normally. *)
+  let pool = Pool.create ~size:1 () in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let blocker =
+    Pool.submit pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        42)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let queued = List.init 5 (fun i -> Pool.submit pool (fun () -> i)) in
+  (* release the blocker only after shutdown_now is already joining *)
+  let releaser =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Atomic.set release true)
+  in
+  Pool.shutdown_now pool;
+  Domain.join releaser;
+  checki "running task completed" 42 (Pool.await blocker);
+  List.iter
+    (fun f ->
+      match Pool.await f with
+      | _ -> Alcotest.fail "cancelled future must not produce a value"
+      | exception Pool.Pool_shutdown -> ())
+    queued;
+  Pool.shutdown_now pool (* idempotent *);
+  Pool.shutdown pool (* and freely mixable with graceful shutdown *);
+  match Pool.submit pool (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after shutdown_now should raise"
+  | exception Invalid_argument _ -> ()
+
 let test_sizing () =
   checkb "default size positive" true (Pool.default_size () >= 1);
   Pool.with_pool ~size:0 (fun pool -> checki "clamped up" 1 (Pool.size pool));
@@ -139,6 +180,7 @@ let () =
       ( "lifecycle",
         [
           Alcotest.test_case "graceful shutdown" `Quick test_shutdown;
+          Alcotest.test_case "abortive shutdown" `Quick test_shutdown_now;
           Alcotest.test_case "sizing" `Quick test_sizing;
           Alcotest.test_case "parallel_iter" `Quick test_parallel_iter;
         ] );

@@ -213,6 +213,33 @@ let test_workload_validation () =
         (W.generate_single ~seed:1 ~length:10
            (W.Hot_cold { pages = 10; hot_pages = 2; hot_prob = 1.5 })))
 
+(* NaN passes sign checks silently (comparisons with NaN are false), so
+   non-finite workload parameters get a dedicated rejection naming the
+   field. *)
+let test_workload_float_hygiene () =
+  Alcotest.check_raises "nan skew"
+    (Invalid_argument "Workloads: skew = nan is not finite") (fun () ->
+      ignore
+        (W.generate_single ~seed:1 ~length:10
+           (W.Zipf { pages = 10; skew = Float.nan })));
+  Alcotest.check_raises "inf drifting skew"
+    (Invalid_argument "Workloads: skew = inf is not finite") (fun () ->
+      W.validate_pattern
+        (W.Drifting_zipf
+           { pages = 10; window = 5; skew = Float.infinity; shift_every = 3 }));
+  Alcotest.check_raises "nan hot_prob"
+    (Invalid_argument "Workloads: hot_prob = nan is not finite") (fun () ->
+      W.validate_pattern
+        (W.Hot_cold { pages = 10; hot_pages = 2; hot_prob = Float.nan }));
+  Alcotest.check_raises "nan mixture weight"
+    (Invalid_argument "Workloads: mixture weight = nan is not finite")
+    (fun () ->
+      W.validate_pattern
+        (W.Mixture [ (Float.nan, W.Uniform { pages = 2 }) ]));
+  Alcotest.check_raises "nan tenant weight"
+    (Invalid_argument "Workloads: tenant weight = nan is not finite")
+    (fun () -> ignore (W.tenant ~weight:Float.nan (W.Uniform { pages = 2 })))
+
 let test_workload_phases () =
   let phase_a = [ W.tenant (W.Cycle { pages = 2 }); W.tenant ~weight:1e-9 (W.Uniform { pages = 2 }) ] in
   let phase_b = [ W.tenant ~weight:1e-9 (W.Cycle { pages = 2 }); W.tenant (W.Uniform { pages = 2 }) ] in
@@ -359,6 +386,8 @@ let () =
           Alcotest.test_case "drift" `Quick test_workload_drift;
           Alcotest.test_case "mixture/weights" `Quick test_workload_mixture_and_weights;
           Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "non-finite rejected" `Quick
+            test_workload_float_hygiene;
           Alcotest.test_case "phases" `Quick test_workload_phases;
           Alcotest.test_case "day/night churn" `Quick test_workload_day_night;
           Alcotest.test_case "lru nemesis" `Quick test_lru_nemesis;
