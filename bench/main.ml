@@ -26,6 +26,19 @@ open Toolkit
 
 let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
+(* --json PATH overrides the artifact destination; --smoke alone writes
+   the CI artifact BENCH_0004.json next to the working directory. *)
+let json_path =
+  let explicit = ref None in
+  Array.iteri
+    (fun i a ->
+      if String.equal a "--json" && i + 1 < Array.length Sys.argv then
+        explicit := Some Sys.argv.(i + 1))
+    Sys.argv;
+  match !explicit with
+  | Some _ as p -> p
+  | None -> if smoke then Some "BENCH_0004.json" else None
+
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once, outside the timed thunks)              *)
 (* ------------------------------------------------------------------ *)
@@ -221,9 +234,13 @@ let report ~requests_per_run tbl =
     rows;
   rows
 
+(* (group title, OLS rows) in run order, for the JSON artifact *)
+let recorded : (string * (string * float) list) list ref = ref []
+
 let run_group ?requests_per_run title test =
   Printf.printf "== %s ==\n%!" title;
-  ignore (report ~requests_per_run (analyze (benchmark test)));
+  let rows = report ~requests_per_run (analyze (benchmark test)) in
+  recorded := (title, rows) :: !recorded;
   print_newline ()
 
 (* Serial/pool speedup summary for the parallel_vs_serial group.  Row
@@ -253,8 +270,33 @@ let run_parallel_group () =
   Printf.printf "== parallel vs serial (Domain_pool, %d workers) ==\n%!"
     pool_width;
   let rows = report ~requests_per_run:None (analyze (benchmark parallel_tests)) in
+  recorded := ("parallel vs serial", rows) :: !recorded;
   print_speedups rows;
   print_newline ()
+
+(* The artifact records every OLS point estimate the run printed.
+   Schema: {"harness","mode","unit","estimator","groups":[{"title",
+   "rows":[{"name","ns_per_run"}]}]} — numbers via Obs_json.num, so a
+   missing estimate serialises as null rather than NaN. *)
+let write_json path =
+  let module J = Ccache_obs.Obs_json in
+  let row (name, ns) =
+    Printf.sprintf "{\"name\":%s,\"ns_per_run\":%s}" (J.str name) (J.num ns)
+  in
+  let group (title, rows) =
+    Printf.sprintf "{\"title\":%s,\"rows\":[%s]}" (J.str title)
+      (String.concat "," (List.map row rows))
+  in
+  let body =
+    Printf.sprintf
+      "{\"harness\":\"bechamel\",\"mode\":%s,\"unit\":\"ns/run\",\"estimator\":\"ols\",\"groups\":[\n\
+       %s\n\
+       ]}\n"
+      (J.str (if smoke then "smoke" else "full"))
+      (String.concat ",\n" (List.rev_map group !recorded))
+  in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc body);
+  Printf.printf "wrote OLS estimates to %s\n" path
 
 let () =
   Printf.printf
@@ -268,4 +310,5 @@ let () =
   run_group "dual solver" (Test.make_grouped ~name:"dual" [ dual_solver_test ]);
   run_group "data structures" structure_tests;
   run_parallel_group ();
+  Option.iter write_json json_path;
   if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

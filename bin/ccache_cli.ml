@@ -55,12 +55,13 @@ let make_costs ~cost n =
 (* --- run command --- *)
 
 let run_cmd policy_name trace_file workload tenants pages skew seed length k cost
-    flush =
+    flush trace_out metrics_out =
   match find_policy policy_name with
   | None ->
       Fmt.epr "unknown policy %S; try the 'list' command@." policy_name;
       2
   | Some policy ->
+      let obs = Obs_args.setup ~trace_out ~metrics_out in
       let trace =
         match trace_file with
         | Some path -> Ccache_trace.Trace_io.read_file path
@@ -69,6 +70,7 @@ let run_cmd policy_name trace_file workload tenants pages skew seed length k cos
       let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
       let result = Ccache_sim.Engine.run ~flush ~k ~costs policy trace in
       Fmt.pr "%a@." (Ccache_sim.Metrics.pp_result ~costs) result;
+      Obs_args.finish obs;
       0
 
 (* --- gen command --- *)
@@ -158,7 +160,8 @@ let parse_fault ~chaos ~kill =
    count. *)
 let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
     k_factor cost flush jobs timeout retries backoff chaos kill checkpoint_path
-    resume =
+    resume trace_out metrics_out =
+  let obs = Obs_args.setup ~trace_out ~metrics_out in
   if jobs < 0 then begin
     Fmt.epr "--jobs must be >= 0@.";
     exit 2
@@ -278,6 +281,8 @@ let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
       | U.Supervisor.Quarantined f -> failures := f :: !failures)
     results;
   Tbl.print tbl;
+  (* the pool (if any) has been joined inside with_pool above *)
+  Obs_args.finish obs;
   match List.rev !failures with
   | [] -> 0
   | failures ->
@@ -404,10 +409,14 @@ let resume_arg =
            compute only the rest.  Refuses a checkpoint written by a \
            different sweep configuration.")
 
+let trace_out_arg = Obs_args.trace_out
+let metrics_out_arg = Obs_args.metrics_out
+
 let run_term =
   Term.(
     const run_cmd $ policy_arg $ trace_arg $ workload_arg $ tenants_arg
-    $ pages_arg $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ flush_arg)
+    $ pages_arg $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ flush_arg
+    $ trace_out_arg $ metrics_out_arg)
 
 let certify_term =
   Term.(
@@ -424,7 +433,8 @@ let sweep_term =
     const sweep_cmd $ policies_arg $ workload_arg $ tenants_arg $ pages_arg
     $ skew_arg $ seed_arg $ length_arg $ k_min_arg $ k_max_arg $ k_factor_arg
     $ cost_arg $ flush_arg $ jobs_arg $ timeout_arg $ retries_arg $ backoff_arg
-    $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg)
+    $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg $ trace_out_arg
+    $ metrics_out_arg)
 
 let cmd =
   Cmd.group

@@ -85,7 +85,7 @@ let pp_event ppf = function
       Fmt.pf ppf "[supervisor] %s: replayed from checkpoint" task
 
 let run full quick markdown jobs timeout retries backoff jitter chaos kill
-    checkpoint_path resume ids =
+    checkpoint_path resume trace_out metrics_out ids =
   if full && quick then begin
     Fmt.epr "--full and --quick are mutually exclusive@.";
     exit 2
@@ -110,6 +110,7 @@ let run full quick markdown jobs timeout retries backoff jitter chaos kill
     Fmt.epr "--jobs must be >= 0@.";
     exit 2
   end;
+  let obs = Obs_args.setup ~trace_out ~metrics_out in
   let fault = make_fault ~chaos ~kill in
   let policy = make_policy ~timeout ~retries ~backoff ~jitter in
   let fingerprint = A.Report.fingerprint ~fmt ~size specs in
@@ -126,6 +127,8 @@ let run full quick markdown jobs timeout retries backoff jitter chaos kill
       U.Domain_pool.with_pool ?size:size_opt (fun pool -> supervise (Some pool))
   in
   print_string report;
+  (* all worker domains have joined: shards are complete *)
+  Obs_args.finish obs;
   if replayed <> [] then
     Fmt.epr "[supervisor] replayed %d section(s) from %s@."
       (List.length replayed)
@@ -239,11 +242,15 @@ let resume =
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e14).")
 
+let trace_out = Obs_args.trace_out
+let metrics_out = Obs_args.metrics_out
+
 let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the convex-caching experiment suite")
     Term.(
       const run $ full $ quick $ markdown $ jobs $ timeout $ retries $ backoff
-      $ jitter $ chaos $ kill $ checkpoint $ resume $ ids)
+      $ jitter $ chaos $ kill $ checkpoint $ resume $ trace_out $ metrics_out
+      $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -56,21 +56,37 @@ let run size =
         scenarios)
     seeds;
   (* Claim 2.3 stress test: random convex monomials/pw-linear and
-     random non-negative sequences. *)
+     random non-negative sequences.
+
+     Sequences for hinge draws are integer-valued: [Cf.alpha] for
+     piecewise-linear costs is the *integer-restricted* supremum (see
+     Cost_function), because over the reals the hinge ratio is
+     unbounded near the kink and the claim genuinely fails — seed 777
+     used to hit such a real-valued counterexample at trial 1156
+     (pinned as a regression test in test_core).  The algorithm only
+     ever applies the claim to per-interval eviction counts, which are
+     integers, so the integer domain is the meaningful one.  Smooth
+     draws keep real-valued sequences. *)
   let rng = Prng.create ~seed:777 in
   let claim_failures = ref 0 in
   for _ = 1 to claim_trials do
+    let integer_domain = ref false in
     let f =
       match Prng.int rng 3 with
       | 0 -> Cf.monomial ~beta:(1.0 +. (3.0 *. Prng.float rng)) ()
       | 1 -> Cf.linear ~slope:(0.5 +. Prng.float rng) ()
       | _ ->
+          integer_domain := true;
           Ccache_cost.Sla.hinge
             ~tolerance:(float_of_int (Prng.int rng 20))
             ~penalty_rate:(1.0 +. (4.0 *. Prng.float rng))
     in
     let n = 1 + Prng.int rng 30 in
-    let xs = Array.init n (fun _ -> Prng.float rng *. 5.0) in
+    let xs =
+      Array.init n (fun _ ->
+          if !integer_domain then float_of_int (Prng.int rng 6)
+          else Prng.float rng *. 5.0)
+    in
     if not (Theory.claim23_holds f xs) then incr claim_failures;
     if not (Theory.claim23_inner_holds f xs) then incr claim_failures
   done;

@@ -40,7 +40,13 @@ let output ~id ~title ?(notes = []) tables = { id; title; tables; notes }
     byte-identical reports at any pool size (each experiment seeds its
     own PRNGs internally and shares no mutable state). *)
 let run_all ?pool ~size specs =
-  Ccache_util.Domain_pool.map_list ?pool ~f:(fun e -> e.run size) specs
+  Ccache_util.Domain_pool.map_list ?pool
+    ~f:(fun e ->
+      Ccache_obs.Span.with_ ~cat:"experiment"
+        ~args:[ ("id", Ccache_obs.Sink.Str e.id) ]
+        ("experiment:" ^ e.id)
+        (fun () -> e.run size))
+    specs
 
 (** Supervised runner: one raising experiment is quarantined (its slot
     reports the failure) while the rest of the suite completes; injected

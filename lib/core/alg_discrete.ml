@@ -64,6 +64,34 @@ let ablated_evict (st : Budget_state.t) ~bump ~subtract victim =
   List.iter (fun (page, b) -> Page.Tbl.replace st.Budget_state.b page b) !updates;
   delta
 
+(* Candidate-set buckets: occupancy at an eviction is bounded by k. *)
+let candidate_bounds =
+  [| 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0 |]
+
+(* Decision telemetry for one eviction: the candidate set the budget
+   sweep scanned, the marginal-cost draw [delta] charged to the
+   victim's owner, and whether the same-owner bump rule fired.  Only
+   reached when recording is on. *)
+let record_evict ~name ~pos ~candidates ~bumped victim delta =
+  let module M = Ccache_obs.Metrics in
+  M.incr (name ^ "/evictions");
+  M.observe (name ^ "/charge") delta;
+  M.observe
+    (name ^ "/charge/user" ^ string_of_int (Page.user victim))
+    delta;
+  M.observe ~bounds:candidate_bounds (name ^ "/candidates")
+    (float_of_int candidates);
+  if bumped then M.incr (name ^ "/owner-bumps");
+  Ccache_obs.Span.instant ~cat:"alg"
+    ~args:
+      [
+        ("pos", Ccache_obs.Sink.Int pos);
+        ("owner", Ccache_obs.Sink.Int (Page.user victim));
+        ("charge", Ccache_obs.Sink.Float delta);
+        ("candidates", Ccache_obs.Sink.Int candidates);
+      ]
+    (name ^ "/evict")
+
 let make_variant variant =
   Policy.make ~name:(variant_name variant) (fun config ->
       let st =
@@ -77,13 +105,21 @@ let make_variant variant =
           (fun ~pos:_ ~incoming:_ -> fst (Budget_state.min_budget st));
         on_insert = (fun ~pos:_ page -> Budget_state.touch st page);
         on_evict =
-          (fun ~pos:_ victim ->
-            if variant.bump && variant.subtract then
-              ignore (Budget_state.evict st victim)
-            else
-              ignore
-                (ablated_evict st ~bump:variant.bump ~subtract:variant.subtract
-                   victim));
+          (fun ~pos victim ->
+            let obs = Ccache_obs.Control.enabled () in
+            (* candidate set = cached pages at decision time (the
+               victim is still in the budget table here) *)
+            let candidates = if obs then Budget_state.cached_count st else 0 in
+            let delta =
+              if variant.bump && variant.subtract then
+                Budget_state.evict st victim
+              else
+                ablated_evict st ~bump:variant.bump ~subtract:variant.subtract
+                  victim
+            in
+            if obs then
+              record_evict ~name:(variant_name variant) ~pos ~candidates
+                ~bumped:variant.bump victim delta);
       })
 
 (** The paper's algorithm with discrete marginals (Section 2.5). *)

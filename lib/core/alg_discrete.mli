@@ -21,6 +21,10 @@ type variant = {
 val default_variant : variant
 (** Discrete marginals, both rules on — the paper's algorithm. *)
 
+val candidate_bounds : float array
+(** Histogram buckets for eviction candidate-set sizes (shared with
+    {!Alg_fast} so the two policies' telemetry is comparable). *)
+
 val variant_name : variant -> string
 
 val make_variant : variant -> Ccache_sim.Policy.t

@@ -69,7 +69,7 @@ let make ?(mode = Cf.Discrete) () =
             Page.make ~user:s ~id:pid);
         on_insert = (fun ~pos:_ page -> touch page);
         on_evict =
-          (fun ~pos:_ victim ->
+          (fun ~pos victim ->
             let u = Page.user victim in
             let s = slot u in
             let raw = Heap.priority per_user.(s) (Page.id victim) in
@@ -81,7 +81,29 @@ let make ?(mode = Cf.Discrete) () =
             u_off.(s) <- u_off.(s) +. bump;
             (* only the owner's top entry changes: every other user's
                key [min raw + U] is untouched by Y *)
-            sync_top s);
+            sync_top s;
+            if Ccache_obs.Control.enabled () then begin
+              (* Decision telemetry mirrors Alg_discrete.record_evict,
+                 except the candidate set here is what the heaps
+                 actually scanned: the top heap (one entry per user
+                 with cached pages) — O(log k) work, not O(k). *)
+              let module M = Ccache_obs.Metrics in
+              M.incr (name ^ "/evictions");
+              M.observe (name ^ "/charge") delta;
+              M.observe (name ^ "/charge/user" ^ string_of_int u) delta;
+              M.observe ~bounds:Alg_discrete.candidate_bounds
+                (name ^ "/candidate-users")
+                (float_of_int (Heap.length top));
+              M.incr (name ^ "/owner-bumps");
+              Ccache_obs.Span.instant ~cat:"alg"
+                ~args:
+                  [
+                    ("pos", Ccache_obs.Sink.Int pos);
+                    ("owner", Ccache_obs.Sink.Int u);
+                    ("charge", Ccache_obs.Sink.Float delta);
+                  ]
+                (name ^ "/evict")
+            end);
       })
 
 let policy = make ()

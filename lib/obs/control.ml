@@ -1,0 +1,40 @@
+(** The global on/off switch.
+
+    Observability is disabled by default and every recording entry
+    point ([Metrics.incr], [Span.with_], ...) checks [enabled] first,
+    so the disabled-path cost is a single atomic load and branch — the
+    "zero overhead when off" half of the contract.  The other half
+    (byte-identical experiment output) holds because sinks are
+    write-only from the simulation's point of view: nothing ever reads
+    observability state back into a decision. *)
+
+let enabled_flag = Atomic.make false
+let configured_clock = Atomic.make Clock.monotonic
+
+let enabled () = Atomic.get enabled_flag
+
+let enable ?clock () =
+  (match clock with
+  | Some c -> Atomic.set configured_clock c
+  | None -> ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let clock () = Atomic.get configured_clock
+
+let with_enabled ?clock f =
+  let was = enabled () in
+  let prev_clock = Atomic.get configured_clock in
+  enable ?clock ();
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set configured_clock prev_clock;
+      if not was then disable ())
+    f
+
+let trace_path_from_env () =
+  match Sys.getenv_opt "CCACHE_TRACE" with
+  | None -> None
+  | Some "" -> None
+  | Some path -> Some path

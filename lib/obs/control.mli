@@ -1,0 +1,27 @@
+(** Global observability switch and configured clock.
+
+    Disabled by default; when disabled, every recording call in
+    {!Metrics} and {!Span} is a single atomic load and branch, and no
+    observability state is allocated or written.  Enabling mid-run is
+    supported but callers normally flip the switch once at startup
+    (both binaries do so for [--trace-out]/[--metrics-out]/
+    [$CCACHE_TRACE]). *)
+
+val enabled : unit -> bool
+
+val enable : ?clock:Clock.t -> unit -> unit
+(** Turn recording on.  [?clock] replaces the span clock (default
+    {!Clock.monotonic}); omitting it keeps the current one. *)
+
+val disable : unit -> unit
+
+val clock : unit -> Clock.t
+(** The clock spans stamp with; see {!Clock}. *)
+
+val with_enabled : ?clock:Clock.t -> (unit -> 'a) -> 'a
+(** Run a thunk with recording on, restoring the previous enabled
+    state and clock afterwards (tests). *)
+
+val trace_path_from_env : unit -> string option
+(** [Some path] iff the [CCACHE_TRACE] environment variable is set and
+    non-empty — the ambient spelling of [--trace-out path]. *)

@@ -1,0 +1,153 @@
+(** Counters, gauges and fixed-bucket histograms over {!Sink} shards.
+
+    Naming convention: slash-separated lowercase paths,
+    [subsystem/detail] (e.g. ["engine/lru/hits"],
+    ["alg-discrete/charge"]).  Labels are folded into the name — the
+    cardinality in this codebase (policies x a handful of counters) is
+    tiny, and flat names keep exports trivially diffable.
+
+    Merge semantics (the laws [test/test_obs.ml] property-tests):
+    counters add, histogram buckets add pointwise (requiring equal
+    bounds), and a gauge resolves to the write with the largest
+    [(domain, seq)] stamp.  All three are associative and commutative,
+    so a merged snapshot does not depend on [--jobs] width or worker
+    interleaving — only on what was recorded. *)
+
+let default_bounds =
+  [| 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0;
+     10000.0 |]
+
+let incr ?(by = 1) name =
+  if Control.enabled () then begin
+    let sh = Sink.shard () in
+    ignore (Sink.next_seq sh);
+    match Hashtbl.find_opt sh.Sink.sh_counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace sh.Sink.sh_counters name (ref by)
+  end
+
+let set_gauge name v =
+  if Control.enabled () then begin
+    let sh = Sink.shard () in
+    Hashtbl.replace sh.Sink.sh_gauges name (Sink.next_seq sh, v)
+  end
+
+(* Smallest bucket whose upper bound admits [v]; the extra slot is the
+   overflow bucket. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?(bounds = default_bounds) name v =
+  if Control.enabled () then begin
+    let sh = Sink.shard () in
+    ignore (Sink.next_seq sh);
+    let h =
+      match Hashtbl.find_opt sh.Sink.sh_hists name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              Sink.bounds;
+              counts = Array.make (Array.length bounds + 1) 0;
+              sum = 0.0;
+              n = 0;
+            }
+          in
+          Hashtbl.replace sh.Sink.sh_hists name h;
+          h
+    in
+    let i = bucket_index h.Sink.bounds v in
+    h.Sink.counts.(i) <- h.Sink.counts.(i) + 1;
+    h.Sink.sum <- h.Sink.sum +. v;
+    h.Sink.n <- h.Sink.n + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and merging                                               *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type gauge_snapshot = { g_domain : int; g_seq : int; g_value : float }
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * gauge_snapshot) list;  (** sorted by name *)
+  hists : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+let empty = { counters = []; gauges = []; hists = [] }
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let of_shard (sh : Sink.shard) =
+  let counters =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) sh.Sink.sh_counters []
+    |> List.sort by_name
+  in
+  let gauges =
+    Hashtbl.fold
+      (fun name (seq, v) acc ->
+        (name, { g_domain = sh.Sink.sh_domain; g_seq = seq; g_value = v }) :: acc)
+      sh.Sink.sh_gauges []
+    |> List.sort by_name
+  in
+  let hists =
+    Hashtbl.fold
+      (fun name (h : Sink.hist) acc ->
+        ( name,
+          {
+            bounds = Array.copy h.Sink.bounds;
+            counts = Array.copy h.Sink.counts;
+            sum = h.Sink.sum;
+            count = h.Sink.n;
+          } )
+        :: acc)
+      sh.Sink.sh_hists []
+    |> List.sort by_name
+  in
+  { counters; gauges; hists }
+
+(* Merge two name-sorted assoc lists with a per-name combiner. *)
+let rec merge_assoc combine xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] -> rest
+  | (xn, xv) :: xtl, (yn, yv) :: ytl ->
+      let c = String.compare xn yn in
+      if c < 0 then (xn, xv) :: merge_assoc combine xtl ys
+      else if c > 0 then (yn, yv) :: merge_assoc combine xs ytl
+      else (xn, combine xn xv yv) :: merge_assoc combine xtl ytl
+
+let merge_hist name (a : hist_snapshot) (b : hist_snapshot) =
+  if a.bounds <> b.bounds then
+    invalid_arg
+      (Printf.sprintf
+         "Metrics.merge: histogram %S recorded with different bucket bounds"
+         name);
+  {
+    bounds = a.bounds;
+    counts = Array.map2 ( + ) a.counts b.counts;
+    sum = a.sum +. b.sum;
+    count = a.count + b.count;
+  }
+
+let merge_gauge _ (a : gauge_snapshot) (b : gauge_snapshot) =
+  if (a.g_domain, a.g_seq) >= (b.g_domain, b.g_seq) then a else b
+
+let merge a b =
+  {
+    counters = merge_assoc (fun _ x y -> x + y) a.counters b.counters;
+    gauges = merge_assoc merge_gauge a.gauges b.gauges;
+    hists = merge_assoc merge_hist a.hists b.hists;
+  }
+
+let snapshot () = List.fold_left (fun acc sh -> merge acc (of_shard sh)) empty (Sink.shards ())
+
+let reset = Sink.reset

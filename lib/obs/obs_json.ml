@@ -1,0 +1,35 @@
+(** Minimal JSON emission helpers shared by the exporters.
+
+    Hand-rolled on purpose: the repo has no JSON dependency, the
+    exporters only ever *write*, and byte-stable output (fixed field
+    order, fixed number formatting) is a contract the golden tests
+    enforce. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+(* Non-finite floats have no JSON encoding; observability values are
+   finite by construction upstream, and [null] keeps the document
+   parseable if one ever slips through. *)
+let num v = if Float.is_finite v then Printf.sprintf "%g" v else "null"
+
+(* Microsecond timestamps for Chrome trace events: fixed-point so the
+   format cannot flip between decimal and scientific notation. *)
+let micros v = Printf.sprintf "%.3f" (v *. 1e6)

@@ -1,0 +1,13 @@
+(** JSON emission helpers for the exporters (byte-stable by design). *)
+
+val escape : string -> string
+(** JSON string-body escaping: quotes, backslashes, control chars. *)
+
+val str : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val num : float -> string
+(** A JSON number via [%g]; non-finite values become [null]. *)
+
+val micros : float -> string
+(** Seconds rendered as fixed-point microseconds ([%.3f]). *)

@@ -1,0 +1,105 @@
+(** Per-domain sharded observability sinks.
+
+    Each domain writes to its own shard, looked up through domain-local
+    storage, so recording never takes a lock and never contends with
+    other domains — the only synchronised operation is registering a
+    fresh shard (once per domain per generation) and taking a merged
+    snapshot afterwards.
+
+    Determinism: every shard stamps its writes with a per-shard
+    sequence number, so merged views can order events totally by
+    [(domain id, seq)] — a deterministic function of shard contents.
+    Counter and histogram merges are commutative and associative sums
+    (property-tested in [test/test_obs.ml]), which is why merged
+    metrics are independent of how work was sharded across domains.
+
+    [reset] bumps a generation counter instead of mutating shards in
+    place: stale shards cached in worker domains' local storage are
+    lazily replaced on their next write.  Snapshots are meant to be
+    taken after workers have joined (or are idle); a snapshot raced
+    with a writer sees a torn but type-safe view. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type hist = {
+  bounds : float array;  (** strictly increasing bucket upper bounds *)
+  counts : int array;  (** length = [Array.length bounds + 1]; last = overflow *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_domain : int;
+  sp_seq : int;  (** open order within the domain *)
+  sp_parent : int option;  (** [sp_seq] of the enclosing span, same domain *)
+  sp_start : float;
+  sp_dur : float;
+  sp_instant : bool;
+  sp_args : (string * arg) list;
+}
+
+type frame = {
+  fr_seq : int;
+  fr_name : string;
+  fr_cat : string;
+  fr_start : float;
+  fr_args : (string * arg) list;
+}
+
+type shard = {
+  sh_domain : int;
+  mutable sh_seq : int;
+  sh_counters : (string, int ref) Hashtbl.t;
+  sh_gauges : (string, int * float) Hashtbl.t;  (** (seq at write, value) *)
+  sh_hists : (string, hist) Hashtbl.t;
+  mutable sh_spans : span list;  (** reversed record order *)
+  mutable sh_stack : frame list;  (** open spans, innermost first *)
+}
+
+let registry : shard list ref = ref []
+let registry_lock = Mutex.create ()
+let generation = Atomic.make 0
+
+let make_shard () =
+  {
+    sh_domain = (Domain.self () :> int);
+    sh_seq = 0;
+    sh_counters = Hashtbl.create 16;
+    sh_gauges = Hashtbl.create 8;
+    sh_hists = Hashtbl.create 8;
+    sh_spans = [];
+    sh_stack = [];
+  }
+
+let register () =
+  let s = make_shard () in
+  Mutex.protect registry_lock (fun () -> registry := s :: !registry);
+  s
+
+let key : (int * shard) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Atomic.get generation, register ()))
+
+let shard () =
+  let gen, s = Domain.DLS.get key in
+  let cur = Atomic.get generation in
+  if gen = cur then s
+  else begin
+    let s = register () in
+    Domain.DLS.set key (cur, s);
+    s
+  end
+
+let next_seq sh =
+  let s = sh.sh_seq in
+  sh.sh_seq <- s + 1;
+  s
+
+let shards () =
+  Mutex.protect registry_lock (fun () -> !registry)
+  |> List.sort (fun a b -> compare a.sh_domain b.sh_domain)
+
+let reset () =
+  Atomic.incr generation;
+  Mutex.protect registry_lock (fun () -> registry := [])

@@ -1,0 +1,63 @@
+(** Per-domain sharded sinks (internal substrate of {!Metrics} and
+    {!Span}; exposed for tests).
+
+    Contract: a domain writes only to its own shard (obtained via
+    [shard ()]), so writes are lock-free; [shards]/[reset] synchronise
+    on a registry mutex.  Snapshots should be taken after worker
+    domains have joined or gone idle.  Merged views order events by
+    [(sh_domain, seq)], which is total and deterministic. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type hist = {
+  bounds : float array;  (** strictly increasing bucket upper bounds *)
+  counts : int array;  (** length = [Array.length bounds + 1]; last = overflow *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_domain : int;
+  sp_seq : int;  (** open order within the domain *)
+  sp_parent : int option;  (** [sp_seq] of the enclosing span, same domain *)
+  sp_start : float;
+  sp_dur : float;
+  sp_instant : bool;
+  sp_args : (string * arg) list;
+}
+
+type frame = {
+  fr_seq : int;
+  fr_name : string;
+  fr_cat : string;
+  fr_start : float;
+  fr_args : (string * arg) list;
+}
+
+type shard = {
+  sh_domain : int;
+  mutable sh_seq : int;
+  sh_counters : (string, int ref) Hashtbl.t;
+  sh_gauges : (string, int * float) Hashtbl.t;  (** (seq at write, value) *)
+  sh_hists : (string, hist) Hashtbl.t;
+  mutable sh_spans : span list;  (** reversed record order *)
+  mutable sh_stack : frame list;  (** open spans, innermost first *)
+}
+
+val shard : unit -> shard
+(** The calling domain's shard for the current generation (created and
+    registered on first use). *)
+
+val next_seq : shard -> int
+(** Allocate the next per-shard sequence number. *)
+
+val shards : unit -> shard list
+(** All registered shards of the current generation, sorted by domain
+    id. *)
+
+val reset : unit -> unit
+(** Start a new generation: the registry empties and every domain's
+    cached shard is lazily replaced on its next write.  Test isolation
+    only — not meant to race live writers. *)

@@ -60,7 +60,26 @@ let policy_error fmt = Printf.ksprintf (fun s -> raise (Policy_error s)) fmt
     @param on_event called for every decision, in trace order.
     @param index reuse a prebuilt index (otherwise built on demand only
            if the policy needs the future). *)
-let run ?(flush = false) ?on_event ?index ~k ~costs policy trace =
+(* Post-run accounting into the observability sinks.  Counters are
+   per-policy; the per-tenant histograms record one observation per
+   user per run, i.e. the distribution of misses/evictions across
+   tenants — the charging data Young-style loose-competitiveness
+   accounting wants per step-window. *)
+let record_obs r =
+  let module M = Ccache_obs.Metrics in
+  let p = r.policy in
+  M.incr ~by:r.trace_length ("engine/" ^ p ^ "/requests");
+  M.incr ~by:r.hits ("engine/" ^ p ^ "/hits");
+  M.incr ~by:(misses r) ("engine/" ^ p ^ "/misses");
+  M.incr ~by:(evictions r) ("engine/" ^ p ^ "/evictions");
+  Array.iter
+    (fun m -> M.observe ("engine/" ^ p ^ "/misses_per_user") (float_of_int m))
+    r.misses_per_user;
+  Array.iter
+    (fun e -> M.observe ("engine/" ^ p ^ "/evictions_per_user") (float_of_int e))
+    r.evictions_per_user
+
+let run_inner ?(flush = false) ?on_event ?index ~k ~costs policy trace =
   let real_users = Trace.n_users trace in
   if Array.length costs <> real_users then
     invalid_arg "Engine.run: costs array must have one entry per user";
@@ -147,6 +166,23 @@ let run ?(flush = false) ?on_event ?index ~k ~costs policy trace =
     evictions_per_user;
     final_cache = List.sort Page.compare final_cache;
   }
+
+let run ?flush ?on_event ?index ~k ~costs policy trace =
+  if not (Ccache_obs.Control.enabled ()) then
+    run_inner ?flush ?on_event ?index ~k ~costs policy trace
+  else
+    Ccache_obs.Span.with_ ~cat:"engine"
+      ~args:
+        [
+          ("policy", Ccache_obs.Sink.Str (Policy.name policy));
+          ("k", Ccache_obs.Sink.Int k);
+          ("requests", Ccache_obs.Sink.Int (Trace.length trace));
+        ]
+      "engine.run"
+      (fun () ->
+        let r = run_inner ?flush ?on_event ?index ~k ~costs policy trace in
+        record_obs r;
+        r)
 
 (** Run and also collect the full decision log (for invariant checking
     and tests). *)

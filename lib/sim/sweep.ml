@@ -32,19 +32,31 @@ let linspace ~start ~stop ~count =
   List.init count (fun i ->
       start +. ((stop -. start) *. float_of_int i /. float_of_int (count - 1)))
 
+(* One span per sweep cell, labelled by input position — [f] itself is
+   opaque, so the position is the only stable identity a cell has. *)
+let cell_span i f =
+  Ccache_obs.Span.with_ ~cat:"sweep"
+    ~args:[ ("cell", Ccache_obs.Sink.Int i) ]
+    "sweep/cell" f
+
 (** Map with the sweep point available for labelling.  With [?pool] the
     cells are evaluated on the pool's worker domains; results keep the
     input order either way. *)
 let run ?pool points ~f =
-  Ccache_util.Domain_pool.map_list ?pool ~f:(fun p -> (p, f p)) points
+  let cells = List.mapi (fun i p -> (i, p)) points in
+  Ccache_util.Domain_pool.map_list ?pool cells ~f:(fun (i, p) ->
+      (p, cell_span i (fun () -> f p)))
 
 (** Seeded sweep: each cell gets its own PRNG stream, derived from the
     cell's *position* before any cell runs, so the output is identical
     whether cells execute sequentially or on any number of domains. *)
 let run_seeded ?pool ~seed points ~f =
   let parent = Ccache_util.Prng.create ~seed in
-  let cells = List.map (fun p -> (p, Ccache_util.Prng.split parent)) points in
-  Ccache_util.Domain_pool.map_list ?pool cells ~f:(fun (p, g) -> (p, f g p))
+  let cells =
+    List.mapi (fun i p -> (i, p, Ccache_util.Prng.split parent)) points
+  in
+  Ccache_util.Domain_pool.map_list ?pool cells ~f:(fun (i, p, g) ->
+      (p, cell_span i (fun () -> f g p)))
 
 (** Supervised sweep: deadlines, retry, quarantine, checkpoint replay.
     Each cell's stream is keyed on [(seed, task_id p)] — not on split

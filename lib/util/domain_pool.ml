@@ -20,7 +20,11 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   size : int;
+  busy : int Atomic.t;  (** workers currently inside [task.run] (obs only) *)
 }
+
+(* Worker-occupancy buckets: pool sizes are clamped to [max_size]. *)
+let occupancy_bounds = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
 
 type 'a state =
   | Pending
@@ -64,7 +68,18 @@ let rec worker_loop t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.lock;
+    (* Guarded so the disabled path costs one atomic load; [obs] is
+       latched across [run] so the busy counter stays balanced even if
+       recording is toggled mid-task. *)
+    let obs = Ccache_obs.Control.enabled () in
+    if obs then begin
+      let busy = 1 + Atomic.fetch_and_add t.busy 1 in
+      Ccache_obs.Metrics.observe ~bounds:occupancy_bounds "pool/occupancy"
+        (float_of_int busy);
+      Ccache_obs.Metrics.incr "pool/tasks_run"
+    end;
     task.run ();
+    if obs then Atomic.decr t.busy;
     worker_loop t
   end
 
@@ -80,6 +95,7 @@ let create ?size () =
       stop = false;
       workers = [];
       size;
+      busy = Atomic.make 0;
     }
   in
   t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -110,6 +126,11 @@ let submit t f =
     invalid_arg "Domain_pool.submit: pool is shut down"
   end;
   Queue.push { run; cancel } t.queue;
+  if Ccache_obs.Control.enabled () then begin
+    Ccache_obs.Metrics.incr "pool/submitted";
+    Ccache_obs.Metrics.set_gauge "pool/queue_depth"
+      (float_of_int (Queue.length t.queue))
+  end;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock;
   fut

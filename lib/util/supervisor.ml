@@ -5,6 +5,13 @@
 
 exception Timed_out of { task : string; elapsed_s : float }
 
+(* Deadlines are genuine wall-clock state, but the *read* still goes
+   through the quarantined capability so the no-wall-clock lint rule
+   holds: Ccache_obs.Clock is the only module in lib/ that touches
+   Unix.gettimeofday.  Deadline results never feed simulation state —
+   a miss raises and the attempt is recomputed from its seed. *)
+let wall_now () = Ccache_obs.Clock.(now wall)
+
 let () =
   Printexc.register_printer (function
     | Timed_out { task; elapsed_s } ->
@@ -87,10 +94,10 @@ let attempt ctx = ctx.ctx_attempt
 
 let check ctx =
   match ctx.deadline with
-  | Some d when Unix.gettimeofday () > d ->
+  | Some d when wall_now () > d ->
       raise
         (Timed_out
-           { task = ctx.ctx_task; elapsed_s = Unix.gettimeofday () -. ctx.started })
+           { task = ctx.ctx_task; elapsed_s = wall_now () -. ctx.started })
   | _ -> ()
 
 let unsupervised_ctx ~task =
@@ -180,10 +187,14 @@ let run ?pool ?(policy = default_policy) ?(fault = Fault.none) ?checkpoint
     match replay task with
     | Some v ->
         emit (Replayed { task = task.id });
+        Ccache_obs.Metrics.incr "supervisor/replayed";
+        Ccache_obs.Span.instant ~cat:"supervisor"
+          ~args:[ ("task", Ccache_obs.Sink.Str task.id) ]
+          "supervisor/replay";
         Completed v
     | None ->
         let rec go att =
-          let started = Unix.gettimeofday () in
+          let started = wall_now () in
           let ctx =
             {
               ctx_task = task.id;
@@ -193,15 +204,23 @@ let run ?pool ?(policy = default_policy) ?(fault = Fault.none) ?checkpoint
             }
           in
           match
-            Fault.at_boundary fault ~task:task.id ~attempt:att;
-            let v = task.run ctx in
-            (* Closing boundary check: even a task that never calls
-               [check] cannot return a result past its deadline. *)
-            check ctx;
-            v
+            (* One span per attempt: the trace shows every retry as its
+               own region (recorded even when the attempt raises), with
+               quarantine/retry annotations as instant events below. *)
+            Ccache_obs.Span.with_ ~cat:"supervisor"
+              ~args:[ ("attempt", Ccache_obs.Sink.Int att) ]
+              ("task:" ^ task.id)
+              (fun () ->
+                Fault.at_boundary fault ~task:task.id ~attempt:att;
+                let v = task.run ctx in
+                (* Closing boundary check: even a task that never calls
+                   [check] cannot return a result past its deadline. *)
+                check ctx;
+                v)
           with
           | v ->
               record task v;
+              Ccache_obs.Metrics.incr "supervisor/completed";
               Completed v
           | exception e when retryable e && att < policy.max_retries ->
               let delay_s = backoff_delay policy ~task:task.id ~attempt:att in
@@ -213,6 +232,15 @@ let run ?pool ?(policy = default_policy) ?(fault = Fault.none) ?checkpoint
                      delay_s;
                      error = error_message e;
                    });
+              Ccache_obs.Metrics.incr "supervisor/retries";
+              Ccache_obs.Span.instant ~cat:"supervisor"
+                ~args:
+                  [
+                    ("task", Ccache_obs.Sink.Str task.id);
+                    ("attempt", Ccache_obs.Sink.Int (att + 1));
+                    ("error", Ccache_obs.Sink.Str (error_message e));
+                  ]
+                "supervisor/retry";
               if delay_s > 0.0 then Unix.sleepf delay_s;
               go (att + 1)
           | exception e ->
@@ -220,6 +248,15 @@ let run ?pool ?(policy = default_policy) ?(fault = Fault.none) ?checkpoint
                 { task = task.id; attempts = att + 1; error = error_message e }
               in
               emit (Gave_up f);
+              Ccache_obs.Metrics.incr "supervisor/quarantined";
+              Ccache_obs.Span.instant ~cat:"supervisor"
+                ~args:
+                  [
+                    ("task", Ccache_obs.Sink.Str task.id);
+                    ("attempts", Ccache_obs.Sink.Int f.attempts);
+                    ("error", Ccache_obs.Sink.Str f.error);
+                  ]
+                "supervisor/quarantine";
               Quarantined f
         in
         go 0

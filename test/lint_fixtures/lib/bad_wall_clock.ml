@@ -1,0 +1,5 @@
+(* Fixture: no-wall-clock — one violation, one suppressed. *)
+
+let bad () = Unix.gettimeofday ()
+
+let ok () = (Sys.time () [@lint.allow "no-wall-clock"])

@@ -403,6 +403,30 @@ let claim23_piecewise =
       let f = Ccache_cost.Sla.hinge ~tolerance:(float_of_int tol) ~penalty_rate:2.0 in
       Theory.claim23_inner_holds f (Array.of_list xs))
 
+(* Regression: seed 777, trial 1156 of the E7b stress test, pinned
+   bit-exact.  A *real-valued* sequence against a hinge cost violates
+   Claim 2.3 under the integer-restricted alpha: [Cf.alpha] for
+   piecewise-linear costs is a supremum over integer sequences only
+   (over the reals the ratio is unbounded near the kink).  This
+   witness documents why E7b draws integer sequences for hinge costs;
+   the claim must keep failing on it as stated, while the inner
+   inequality (6) — which is domain-independent — and the
+   integer-rounded witness must both hold. *)
+let test_claim23_seed777_trial1156 () =
+  let f =
+    Ccache_cost.Sla.hinge ~tolerance:0x1.4p+2 (* 5 *)
+      ~penalty_rate:0x1.172da369d9dc6p+2 (* 4.362160542841087 *)
+  in
+  let xs =
+    [| 0x1.2486c8e4dd9abp-1; 0x1.0aecf0363115dp+2; 0x1.31dc1863aeffdp-1 |]
+  in
+  checkb "real-valued witness violates the integer-alpha claim" false
+    (Theory.claim23_holds f xs);
+  checkb "inner inequality still holds on the witness" true
+    (Theory.claim23_inner_holds f xs);
+  checkb "integer-rounded witness satisfies the claim" true
+    (Theory.claim23_holds f (Array.map Float.round xs))
+
 (* Theorem 1.1 holds end-to-end on random instances, with best-of as b *)
 let thm11_end_to_end =
   QCheck.Test.make ~name:"Theorem 1.1 end-to-end on random traces" ~count:15
@@ -509,6 +533,8 @@ let () =
           Alcotest.test_case "bounds" `Quick test_theory_bounds;
           Alcotest.test_case "thm11 rhs" `Quick test_theory_thm11_rhs;
           Alcotest.test_case "thm13 rhs" `Quick test_theory_thm13_rhs;
+          Alcotest.test_case "claim 2.3 seed777/trial1156 regression" `Quick
+            test_claim23_seed777_trial1156;
         ]
         @ qsuite
             [

@@ -43,6 +43,10 @@ let golden =
     "lint_fixtures/lib/bad_random.ml:3:13: [no-stdlib-random] reference to \
      Stdlib.Random; draw from a seeded Ccache_util.Prng stream instead so \
      output is reproducible at any --jobs width";
+    "lint_fixtures/lib/bad_wall_clock.ml:3:13: [no-wall-clock] wall-clock \
+     read (Unix.gettimeofday) in lib/; take timestamps through the \
+     Ccache_obs.Clock capability so outputs stay deterministic and tests can \
+     substitute clocks";
     "lint_fixtures/lib/no_sibling.ml:1:0: [mli-coverage] lib/ module has no \
      interface: add a sibling .mli documenting the public API (and its \
      tolerances/contracts)";

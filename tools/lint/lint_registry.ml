@@ -4,6 +4,7 @@
 let all : Lint_rule.t list =
   [
     Rule_no_random.rule;
+    Rule_no_wall_clock.rule;
     Rule_float_eq.rule;
     Rule_no_print.rule;
     Rule_domain_capture.rule;

@@ -1,0 +1,66 @@
+(** no-wall-clock: direct wall-clock reads inside [lib/].
+
+    The determinism contract (DESIGN.md Section 9) is that wall-clock
+    never reaches simulation state: experiment outputs must be
+    byte-identical across runs and [--jobs] widths, and a timestamp
+    read anywhere in the data path breaks that silently.  Timestamps
+    exist only to annotate observability records, and they flow
+    through the [Ccache_obs.Clock] capability — whose [wall] is the
+    single sanctioned read, so [lib/obs/clock.ml] is exempt by path.
+    [Unix.sleepf] (supervisor backoff) is deliberately not flagged:
+    sleeping shapes the schedule, never a value. *)
+
+open Parsetree
+
+let banned =
+  [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ] ]
+
+let is_banned lid =
+  let parts = Lint_rule.lident_parts lid in
+  let parts = match parts with "Stdlib" :: rest -> rest | _ -> parts in
+  List.exists (fun b -> parts = b) banned
+
+(* the one sanctioned read: Ccache_obs.Clock.wall *)
+let exempt path =
+  let suffix = "obs/clock.ml" in
+  let n = String.length path and s = String.length suffix in
+  n >= s && String.sub path (n - s) s = suffix
+
+let check ~path src =
+  if (not (Lint_rule.has_segment "lib" path)) || exempt path then []
+  else begin
+    let out = ref [] in
+    let open Ast_iterator in
+    let it =
+      {
+        default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } when is_banned txt ->
+                out :=
+                  Lint_rule.finding loc
+                    (Printf.sprintf
+                       "wall-clock read (%s) in lib/; take timestamps through \
+                        the Ccache_obs.Clock capability so outputs stay \
+                        deterministic and tests can substitute clocks"
+                       (String.concat "." (Lint_rule.lident_parts txt)))
+                  :: !out
+            | _ -> ());
+            default_iterator.expr it e);
+      }
+    in
+    (match src with
+    | Lint_rule.Impl s -> it.structure it s
+    | Lint_rule.Intf s -> it.signature it s);
+    List.rev !out
+  end
+
+let rule =
+  {
+    Lint_rule.name = "no-wall-clock";
+    describe =
+      "wall-clock reads in lib/ break determinism; use Ccache_obs.Clock";
+    check_ast = Some check;
+    check_files = None;
+  }
