@@ -18,6 +18,13 @@
    `--smoke` runs every group once with a tiny measurement quota — a
    CI-friendly time-boxed pass proving the harness itself still works.
 
+   `--baseline PATH` compares this run against a committed artifact
+   (BENCH_NNNN.json): a per-row delta table is printed, and the process
+   exits non-zero if any row regressed beyond `--threshold PCT`
+   (default 25%).  CI runs this as a non-blocking perf-diff job; the
+   threshold is deliberately loose because shared runners are noisy —
+   the table, not the exit code, is the artefact of record.
+
    Output: one line per benchmark with the OLS estimate of
    nanoseconds/run and derived requests/second where meaningful. *)
 
@@ -26,18 +33,34 @@ open Toolkit
 
 let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
-(* --json PATH overrides the artifact destination; --smoke alone writes
-   the CI artifact BENCH_0004.json next to the working directory. *)
-let json_path =
-  let explicit = ref None in
+let flag_value name =
+  let v = ref None in
   Array.iteri
     (fun i a ->
-      if String.equal a "--json" && i + 1 < Array.length Sys.argv then
-        explicit := Some Sys.argv.(i + 1))
+      if String.equal a name && i + 1 < Array.length Sys.argv then
+        v := Some Sys.argv.(i + 1))
     Sys.argv;
-  match !explicit with
+  !v
+
+(* --json PATH overrides the artifact destination; --smoke alone writes
+   the CI artifact BENCH_0005.json next to the working directory. *)
+let json_path =
+  match flag_value "--json" with
   | Some _ as p -> p
-  | None -> if smoke then Some "BENCH_0004.json" else None
+  | None -> if smoke then Some "BENCH_0005.json" else None
+
+let baseline_path = flag_value "--baseline"
+
+(* regression threshold, percent slower-than-baseline *)
+let threshold_pct =
+  match flag_value "--threshold" with
+  | None -> 25.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v > 0.0 -> v
+      | _ ->
+          prerr_endline "--threshold must be a positive number (percent)";
+          exit 2)
 
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once, outside the timed thunks)              *)
@@ -50,20 +73,28 @@ module Engine = Ccache_sim.Engine
 let trace_len = 20_000
 let tenants = 5
 
-let fixture_trace = W.generate ~seed:99 ~length:trace_len (W.sqlvm_mix ~scale:2)
+(* Fixtures are forced on first use, not at module init: the
+   data-structure microbenches never touch them, and a per-op cost of
+   ~100 ns is sensitive to the GC pressure of whatever is resident in
+   the major heap — measured ~25% higher with the trace fixtures live
+   than against an empty heap. *)
+let fixture_trace =
+  lazy (W.generate ~seed:99 ~length:trace_len (W.sqlvm_mix ~scale:2))
 
 let fixture_costs =
-  Array.init tenants (fun i ->
-      match i mod 3 with
-      | 0 -> Cf.monomial ~beta:2.0 ()
-      | 1 -> Cf.linear ~slope:2.0 ()
-      | _ -> Ccache_cost.Sla.hinge ~tolerance:100.0 ~penalty_rate:4.0)
+  lazy
+    (Array.init tenants (fun i ->
+         match i mod 3 with
+         | 0 -> Cf.monomial ~beta:2.0 ()
+         | 1 -> Cf.linear ~slope:2.0 ()
+         | _ -> Ccache_cost.Sla.hinge ~tolerance:100.0 ~penalty_rate:4.0))
 
-let fixture_index = Ccache_trace.Trace.Index.build fixture_trace
+let fixture_index = lazy (Ccache_trace.Trace.Index.build (Lazy.force fixture_trace))
 
 let run_policy ~k policy () =
   ignore
-    (Engine.run ~index:fixture_index ~k ~costs:fixture_costs policy fixture_trace)
+    (Engine.run ~index:(Lazy.force fixture_index) ~k
+       ~costs:(Lazy.force fixture_costs) policy (Lazy.force fixture_trace))
 
 (* ------------------------------------------------------------------ *)
 (* Tests                                                               *)
@@ -102,15 +133,19 @@ let fast_vs_ref_tests =
              ~name:(Printf.sprintf "fast_k%d" k)
              (Staged.stage (run_policy ~k Ccache_core.Alg_fast.policy));
          ])
-       [ 64; 512 ])
+       (* crossover sweep: the reference is O(k) per eviction, the heap
+          implementation O(log k) — small k favours the flat scan,
+          large k the heaps *)
+       [ 64; 256; 512; 1024; 4096 ])
 
 let dual_solver_test =
   (* small fixed program; measures cost per ascent iteration batch *)
-  let small_trace = W.generate ~seed:5 ~length:400 (W.sqlvm_mix ~scale:1) in
-  let costs = Array.init 5 (fun _ -> Cf.monomial ~beta:2.0 ()) in
   let cp =
-    Ccache_cp.Formulation.of_trace ~flush:true ~k:16 ~cache_size:16 ~costs
-      small_trace
+    lazy
+      (let small_trace = W.generate ~seed:5 ~length:400 (W.sqlvm_mix ~scale:1) in
+       let costs = Array.init 5 (fun _ -> Cf.monomial ~beta:2.0 ()) in
+       Ccache_cp.Formulation.of_trace ~flush:true ~k:16 ~cache_size:16 ~costs
+         small_trace)
   in
   Test.make ~name:"dual_solver_20iters"
     (Staged.stage (fun () ->
@@ -118,7 +153,7 @@ let dual_solver_test =
            (Ccache_cp.Dual_solver.solve
               ~options:
                 { Ccache_cp.Dual_solver.default_options with iterations = 20 }
-              cp)))
+              (Lazy.force cp))))
 
 let structure_tests =
   let heap_ops () =
@@ -176,8 +211,9 @@ let sweep_ks = [ 16; 32; 64; 128; 256; 512 ]
 let bench_ksweep pool () =
   ignore
     (Ccache_sim.Sweep.run ?pool sweep_ks ~f:(fun k ->
-         Ccache_sim.Engine.run ~index:fixture_index ~k ~costs:fixture_costs
-           Ccache_core.Alg_fast.policy fixture_trace))
+         Ccache_sim.Engine.run ~index:(Lazy.force fixture_index) ~k
+           ~costs:(Lazy.force fixture_costs) Ccache_core.Alg_fast.policy
+           (Lazy.force fixture_trace)))
 
 let parallel_tests =
   Test.make_grouped ~name:"parallel_vs_serial"
@@ -197,8 +233,20 @@ let parallel_tests =
 (* ------------------------------------------------------------------ *)
 
 let benchmark test =
+  (* smoke stays time-boxed, but a single sample gave OLS estimates too
+     noisy to diff against a baseline (observed 1.5-2x run-to-run swings
+     on cheap tests), and with fewer than ~10 samples the cold first
+     runs of a test tilt the OLS slope well above steady state.  A
+     larger sample budget keeps cheap rows dominated by warm
+     high-run-count samples; expensive rows still stop after a run or
+     two, bounding the total pass. *)
   let cfg =
-    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.05) ~kde:None ()
+    if smoke then
+      (* geometric run growth reaches warm high-run samples quickly;
+         the default +1-per-sample growth never leaves the cold zone
+         inside a smoke quota *)
+      Benchmark.cfg ~limit:100 ~quota:(Time.second 0.4)
+        ~sampling:(`Geometric 1.2) ~kde:None ()
     else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
   in
   Benchmark.all cfg Instance.[ monotonic_clock ] test
@@ -298,17 +346,102 @@ let write_json path =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc body);
   Printf.printf "wrote OLS estimates to %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--baseline)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a committed artifact back to [(name, ns_per_run)] rows; the
+   group structure only matters for display. *)
+let baseline_rows path =
+  let module J = Ccache_obs.Obs_json in
+  let doc =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "cannot read baseline: %s\n" msg;
+      exit 2
+  in
+  match J.parse doc with
+  | Error msg ->
+      Printf.eprintf "cannot parse %s: %s\n" path msg;
+      exit 2
+  | Ok v ->
+      let groups =
+        match J.member "groups" v with Some (J.List gs) -> gs | _ -> []
+      in
+      List.concat_map
+        (fun g ->
+          match J.member "rows" g with
+          | Some (J.List rows) ->
+              List.filter_map
+                (fun r ->
+                  match (J.member "name" r, J.member "ns_per_run" r) with
+                  | Some (J.String name), Some (J.Number ns) -> Some (name, ns)
+                  | _ -> None)
+                rows
+          | _ -> [])
+        groups
+
+(* Per-row delta table; returns the number of rows slower than the
+   baseline by more than [threshold_pct]. *)
+let compare_against_baseline path =
+  let base = baseline_rows path in
+  let current = List.concat_map snd (List.rev !recorded) in
+  Printf.printf "== regression check vs %s (threshold +%g%%) ==\n" path
+    threshold_pct;
+  Printf.printf "  %-44s %14s %14s %9s\n" "name" "baseline ns" "current ns"
+    "delta";
+  let regressed = ref 0 in
+  List.iter
+    (fun (name, cur) ->
+      match List.assoc_opt name base with
+      | None -> Printf.printf "  %-44s %14s %14.0f %9s\n" name "-" cur "new"
+      | Some b when Float.is_finite b && b > 0.0 && Float.is_finite cur ->
+          let delta = (cur -. b) /. b *. 100.0 in
+          let tag =
+            if delta > threshold_pct then begin
+              incr regressed;
+              "  REGRESSED"
+            end
+            else if delta < -.threshold_pct then "  improved"
+            else ""
+          in
+          Printf.printf "  %-44s %14.0f %14.0f %+8.1f%%%s\n" name b cur delta
+            tag
+      | Some _ -> Printf.printf "  %-44s %14s %14.0f %9s\n" name "null" cur "-")
+    current;
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (n, _) -> String.equal n name) current) then
+        Printf.printf "  %-44s (dropped: not measured in this run)\n" name)
+    base;
+  if !regressed > 0 then
+    Printf.printf "%d row(s) regressed beyond +%g%%\n" !regressed threshold_pct
+  else Printf.printf "no regressions beyond +%g%%\n" threshold_pct;
+  !regressed
+
 let () =
   Printf.printf
     "convex-caching benchmark harness (trace: %d requests, %d tenants%s)\n\n"
     trace_len tenants
     (if smoke then ", smoke mode" else "");
+  (* Microbench groups first: a structure op costs ~100 ns, so its
+     estimate is dominated by GC pressure — measured 25% higher when
+     the heavy groups have already grown and fragmented the major heap
+     (and 5x higher under a few hundred MB of live ballast).  The
+     macro groups allocate enough per run to be insensitive to what
+     ran before them. *)
+  run_group "data structures" structure_tests;
+  run_group "dual solver" (Test.make_grouped ~name:"dual" [ dual_solver_test ]);
   run_group "experiment regeneration (quick size, one run each)" experiment_tests;
   run_group ~requests_per_run:trace_len "policy throughput, k=64" (policy_tests ~k:64);
   run_group ~requests_per_run:trace_len "policy throughput, k=1024" (policy_tests ~k:1024);
   run_group ~requests_per_run:trace_len "ALG-DISCRETE fast vs reference" fast_vs_ref_tests;
-  run_group "dual solver" (Test.make_grouped ~name:"dual" [ dual_solver_test ]);
-  run_group "data structures" structure_tests;
   run_parallel_group ();
   Option.iter write_json json_path;
-  if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)
+  let regressions =
+    match baseline_path with
+    | None -> 0
+    | Some path -> compare_against_baseline path
+  in
+  if Lazy.is_val pool then Pool.shutdown (Lazy.force pool);
+  if regressions > 0 then exit 1

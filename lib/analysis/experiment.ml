@@ -39,8 +39,8 @@ let output ~id ~title ?(notes = []) tables = { id; title; tables; notes }
     come back in spec order, so callers can collect-then-print and get
     byte-identical reports at any pool size (each experiment seeds its
     own PRNGs internally and shares no mutable state). *)
-let run_all ?pool ~size specs =
-  Ccache_util.Domain_pool.map_list ?pool
+let run_all ?pool ?chunk ~size specs =
+  Ccache_util.Domain_pool.map_list ?pool ?chunk
     ~f:(fun e ->
       Ccache_obs.Span.with_ ~cat:"experiment"
         ~args:[ ("id", Ccache_obs.Sink.Str e.id) ]

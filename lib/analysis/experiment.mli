@@ -37,10 +37,16 @@ val all : unit -> t list
 val find : string -> t option
 
 val run_all :
-  ?pool:Ccache_util.Domain_pool.t -> size:size -> t list -> output list
+  ?pool:Ccache_util.Domain_pool.t ->
+  ?chunk:int ->
+  size:size ->
+  t list ->
+  output list
 (** Run experiments (in parallel when [?pool] is given), returning
     outputs in spec order.  Every experiment derives its randomness
-    from fixed seeds, so the outputs are identical at any pool size. *)
+    from fixed seeds, so the outputs are identical at any pool size —
+    and at any [?chunk] grain (consecutive experiments batched per pool
+    task, see {!Ccache_util.Domain_pool.parallel_map}). *)
 
 val run_all_supervised :
   ?pool:Ccache_util.Domain_pool.t ->

@@ -54,14 +54,13 @@ let ablated_evict (st : Budget_state.t) ~bump ~subtract victim =
   Page.Tbl.remove st.Budget_state.b victim;
   let slot = Stdlib.min owner (Array.length st.Budget_state.m - 1) in
   st.Budget_state.m.(slot) <- st.Budget_state.m.(slot) + 1;
-  let updates = ref [] in
-  Page.Tbl.iter
+  (* in-place sweep, mirroring Budget_state.evict: no intermediate
+     O(k) update list per eviction *)
+  Page.Tbl.filter_map_inplace
     (fun page b ->
       let b = if subtract then b -. delta else b in
-      let b = if Page.user page = owner then b +. bump_amount else b in
-      updates := (page, b) :: !updates)
+      Some (if Page.user page = owner then b +. bump_amount else b))
     st.Budget_state.b;
-  List.iter (fun (page, b) -> Page.Tbl.replace st.Budget_state.b page b) !updates;
   delta
 
 (* Candidate-set buckets: occupancy at an eviction is bounded by k. *)

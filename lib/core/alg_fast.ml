@@ -35,25 +35,37 @@ let make ?(mode = Cf.Discrete) () =
       let n_slots = n_users + 1 (* + flush dummy *) in
       let per_user = Array.init n_slots (fun _ -> Heap.create ()) in
       let top = Heap.create ~capacity:n_slots () in
-      let y_off = ref 0.0 in
+      (* [y_off] lives in a one-cell floatarray: a [float ref] would box
+         a fresh float on every eviction. *)
+      let y_off = Float.Array.make 1 0.0 in
       let u_off = Array.make n_slots 0.0 in
       let m = Array.make n_slots 0 in
       let slot u = Stdlib.min u n_users in
+      (* Cost lookup hoisted out of the request path: [Config.cost]
+         builds a fresh zero-cost function for the dummy slot on every
+         call, which would allocate on every touch. *)
+      let costs = Array.init n_slots (fun u -> Policy.Config.cost config u) in
       let rate u ~offset =
-        let f = Policy.Config.cost config u in
-        Cf.rate f mode (m.(slot u) + offset)
+        let s = slot u in
+        Cf.rate costs.(s) mode (m.(s) + offset)
       in
+      (* f'_i(m_i + 1) for every slot, refreshed when m_i moves: touch
+         needs this value on every request, and computing it live costs
+         two cost-function closure calls each time. *)
+      let rate1 = Float.Array.init n_slots (fun s -> rate s ~offset:1) in
       (* keep the top-level entry for user-slot [s] in sync *)
       let sync_top s =
-        match Heap.peek per_user.(s) with
-        | None -> if Heap.mem top s then Heap.remove top s
-        | Some (_, min_raw) -> Heap.set top ~key:s ~prio:(min_raw +. u_off.(s))
+        if Heap.is_empty per_user.(s) then begin
+          if Heap.mem top s then Heap.remove top s
+        end
+        else
+          Heap.set top ~key:s ~prio:(Heap.min_prio_exn per_user.(s) +. u_off.(s))
       in
       let touch page =
         let u = Page.user page in
         let s = slot u in
-        let target = rate u ~offset:1 in
-        let raw = target +. !y_off -. u_off.(s) in
+        let target = Float.Array.get rate1 s in
+        let raw = target +. Float.Array.get y_off 0 -. u_off.(s) in
         Heap.set per_user.(s) ~key:(Page.id page) ~prio:raw;
         sync_top s
       in
@@ -62,8 +74,8 @@ let make ?(mode = Cf.Discrete) () =
         wants_evict = Policy.never_evict_early;
         choose_victim =
           (fun ~pos:_ ~incoming:_ ->
-            let s, _ = Heap.peek_exn top in
-            let pid, _ = Heap.peek_exn per_user.(s) in
+            let s = Heap.min_key_exn top in
+            let pid = Heap.min_key_exn per_user.(s) in
             (* user-slot s only holds pages of user s (the dummy slot
                holds dummy pages whose user id is exactly n_users) *)
             Page.make ~user:s ~id:pid);
@@ -73,11 +85,12 @@ let make ?(mode = Cf.Discrete) () =
             let u = Page.user victim in
             let s = slot u in
             let raw = Heap.priority per_user.(s) (Page.id victim) in
-            let delta = raw -. !y_off +. u_off.(s) in
+            let delta = raw -. Float.Array.get y_off 0 +. u_off.(s) in
             Heap.remove per_user.(s) (Page.id victim);
             let bump = rate u ~offset:2 -. rate u ~offset:1 in
             m.(s) <- m.(s) + 1;
-            y_off := !y_off +. delta;
+            Float.Array.set rate1 s (rate u ~offset:1);
+            Float.Array.set y_off 0 (Float.Array.get y_off 0 +. delta);
             u_off.(s) <- u_off.(s) +. bump;
             (* only the owner's top entry changes: every other user's
                key [min raw + U] is untouched by Y *)

@@ -90,15 +90,15 @@ let evict t victim =
   let bump = rate t owner ~offset:2 -. rate t owner ~offset:1 in
   let slot = Stdlib.min owner (Array.length t.m - 1) in
   t.m.(slot) <- t.m.(slot) + 1;
-  (* single sweep: subtract delta everywhere, add bump to owner pages *)
-  let updates = ref [] in
-  Page.Tbl.iter
+  (* single in-place sweep: subtract delta everywhere, add bump to
+     owner pages.  [filter_map_inplace] rewrites each binding where it
+     sits — no intermediate update list, no rehashing, O(k) with no
+     O(k) garbage. *)
+  Page.Tbl.filter_map_inplace
     (fun page b ->
       let b = b -. delta in
-      let b = if Page.user page = owner then b +. bump else b in
-      updates := (page, b) :: !updates)
+      Some (if Page.user page = owner then b +. bump else b))
     t.b;
-  List.iter (fun (page, b) -> Page.Tbl.replace t.b page b) !updates;
   delta
 
 (** All budgets, sorted by page — used by tests and the fast-impl

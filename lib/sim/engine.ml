@@ -90,46 +90,70 @@ let run_inner ?(flush = false) ?on_event ?index ~k ~costs policy trace =
   in
   let config = Policy.Config.make ?index ~k ~costs () in
   let h = Policy.instantiate policy config in
-  let cached = Page.Tbl.create (2 * k) in
+  (* The cache set keys on the packed page int directly: an
+     open-addressing table with flat int arrays, no boxed keys to hash
+     and nothing allocated per request.  Capacity k+1 already gives a
+     table that never rehashes mid-trace (it is sized to twice the
+     requested capacity, and occupancy never exceeds k); asking for
+     more just spreads the hot probes over more cache lines. *)
+  let cached = Ccache_util.Int_tbl.create ~capacity:(k + 1) () in
+  let is_cached page = Ccache_util.Int_tbl.mem cached (Page.pack page) in
+  let cache_add page = Ccache_util.Int_tbl.set cached (Page.pack page) 1 in
+  let cache_remove page =
+    ignore (Ccache_util.Int_tbl.remove cached (Page.pack page))
+  in
+  let occupancy () = Ccache_util.Int_tbl.length cached in
   let n_accounts = Trace.n_users trace in
   let misses_per_user = Array.make n_accounts 0 in
   let evictions_per_user = Array.make n_accounts 0 in
   let hits = ref 0 in
-  let emit ev = match on_event with Some f -> f ev | None -> () in
+  (* Event records are built inside the [Some] branches only, so runs
+     without a listener allocate nothing per decision. *)
+  let emit_hit pos page =
+    match on_event with Some f -> f (Hit { pos; page }) | None -> ()
+  in
+  let emit_insert pos page =
+    match on_event with Some f -> f (Miss_insert { pos; page }) | None -> ()
+  in
+  let emit_evict pos page victim =
+    match on_event with
+    | Some f -> f (Miss_evict { pos; page; victim })
+    | None -> ()
+  in
   let n = Trace.length trace in
   for pos = 0 to n - 1 do
     let page = Trace.request trace pos in
-    if Page.Tbl.mem cached page then begin
+    if is_cached page then begin
       incr hits;
       h.Policy.on_hit ~pos page;
-      emit (Hit { pos; page })
+      emit_hit pos page
     end
     else begin
       misses_per_user.(Page.user page) <- misses_per_user.(Page.user page) + 1;
-      let occupancy = Page.Tbl.length cached in
-      if occupancy >= k || (occupancy > 0 && h.Policy.wants_evict ~pos ~incoming:page)
+      let occ = occupancy () in
+      if occ >= k || (occ > 0 && h.Policy.wants_evict ~pos ~incoming:page)
       then begin
         let victim = h.Policy.choose_victim ~pos ~incoming:page in
-        if not (Page.Tbl.mem cached victim) then
+        if not (is_cached victim) then
           policy_error "%s: victim %s is not cached (pos %d)" (Policy.name policy)
             (Page.to_string victim) pos;
         if Page.equal victim page then
           policy_error "%s: victim equals incoming page %s (pos %d)"
             (Policy.name policy) (Page.to_string page) pos;
-        Page.Tbl.remove cached victim;
+        cache_remove victim;
         evictions_per_user.(Page.user victim) <-
           evictions_per_user.(Page.user victim) + 1;
         h.Policy.on_evict ~pos victim;
-        Page.Tbl.replace cached page ();
+        cache_add page;
         h.Policy.on_insert ~pos page;
-        emit (Miss_evict { pos; page; victim })
+        emit_evict pos page victim
       end
       else begin
-        Page.Tbl.replace cached page ();
+        cache_add page;
         h.Policy.on_insert ~pos page;
-        emit (Miss_insert { pos; page })
+        emit_insert pos page
       end;
-      if Page.Tbl.length cached > k then
+      if occupancy () > k then
         policy_error "%s: cache exceeded k=%d (pos %d)" (Policy.name policy) k pos
     end
   done;
@@ -137,25 +161,27 @@ let run_inner ?(flush = false) ?on_event ?index ~k ~costs policy trace =
      real page; dummy pages are pinned so they are never inserted. *)
   if flush then begin
     for step = 0 to k - 1 do
-      if Page.Tbl.length cached > 0 then begin
+      if occupancy () > 0 then begin
         let pos = n + step in
         let dummy = Page.make ~user:real_users ~id:step in
         let victim = h.Policy.choose_victim ~pos ~incoming:dummy in
-        if not (Page.Tbl.mem cached victim) then
+        if not (is_cached victim) then
           policy_error "%s: flush victim %s is not cached" (Policy.name policy)
             (Page.to_string victim);
-        Page.Tbl.remove cached victim;
+        cache_remove victim;
         evictions_per_user.(Page.user victim) <-
           evictions_per_user.(Page.user victim) + 1;
         h.Policy.on_evict ~pos victim;
-        emit (Miss_evict { pos; page = dummy; victim })
+        emit_evict pos dummy victim
       end
     done;
-    if Page.Tbl.length cached > 0 then
+    if occupancy () > 0 then
       policy_error "%s: flush left %d pages cached (need k >= cache)"
-        (Policy.name policy) (Page.Tbl.length cached)
+        (Policy.name policy) (occupancy ())
   end;
-  let final_cache = Page.Tbl.fold (fun p () acc -> p :: acc) cached [] in
+  let final_cache =
+    Ccache_util.Int_tbl.fold (fun p _ acc -> Page.unpack p :: acc) cached []
+  in
   {
     policy = Policy.name policy;
     k;

@@ -11,13 +11,21 @@ val arithmetic : start:int -> stop:int -> step:int -> int list
 val linspace : start:float -> stop:float -> count:int -> float list
 
 val run :
-  ?pool:Ccache_util.Domain_pool.t -> 'a list -> f:('a -> 'b) -> ('a * 'b) list
+  ?pool:Ccache_util.Domain_pool.t ->
+  ?chunk:int ->
+  'a list ->
+  f:('a -> 'b) ->
+  ('a * 'b) list
 (** Map keeping the sweep point for labelling.  With [?pool] the cells
     are evaluated in parallel on the pool's workers; the result list is
-    in input order either way. *)
+    in input order either way.  [?chunk] batches that many consecutive
+    cells per pool task (see
+    {!Ccache_util.Domain_pool.parallel_map}) — grain control only,
+    never a result change. *)
 
 val run_seeded :
   ?pool:Ccache_util.Domain_pool.t ->
+  ?chunk:int ->
   seed:int ->
   'a list ->
   f:(Ccache_util.Prng.t -> 'a -> 'b) ->

@@ -19,7 +19,9 @@ type t = {
   queue : task Queue.t;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  mutable spawned : bool;  (** workers are created on first [submit] *)
   size : int;
+  hw : int;  (** hardware parallelism observed at [create] *)
   busy : int Atomic.t;  (** workers currently inside [task.run] (obs only) *)
 }
 
@@ -58,6 +60,15 @@ let default_size () =
 
 let size t = t.size
 
+(* Workers the machine can actually run at once.  A pool wider than the
+   hardware still *works*, but on OCaml 5 every allocating domain joins
+   each minor-GC stop-the-world barrier: two domains time-slicing one
+   core spend more time fencing each other than computing (measured 3x
+   slower than serial on a 1-core host).  [parallel_map] therefore runs
+   on the submitting domain whenever the pool cannot give a task a core
+   of its own. *)
+let effective_parallelism t = Stdlib.min t.size t.hw
+
 let rec worker_loop t =
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stop do
@@ -94,12 +105,25 @@ let create ?size () =
       queue = Queue.create ();
       stop = false;
       workers = [];
+      spawned = false;
       size;
+      hw = Domain.recommended_domain_count ();
       busy = Atomic.make 0;
     }
   in
-  t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
+
+(* Deferred to first [submit] (with [t.lock] held): an idle domain is
+   not free — it joins every stop-the-world minor-GC barrier, and a
+   pool whose maps all take the serial-fallback path was measured to
+   slow the submitting domain ~5x just by existing.  A pool that never
+   receives a task never spawns a domain. *)
+let spawn_workers t =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.workers <-
+      List.init t.size (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  end
 
 let resolve fut result =
   Mutex.lock fut.flock;
@@ -125,6 +149,7 @@ let submit t f =
     Mutex.unlock t.lock;
     invalid_arg "Domain_pool.submit: pool is shut down"
   end;
+  spawn_workers t;
   Queue.push { run; cancel } t.queue;
   if Ccache_obs.Control.enabled () then begin
     Ccache_obs.Metrics.incr "pool/submitted";
@@ -152,13 +177,25 @@ let await fut =
 let await_result fut =
   match await fut with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ())
 
-let parallel_map t ~f xs =
-  let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
-  let results = List.map await_result futs in
+(* Run every element (a failure does not stop later elements, matching
+   the pooled path, where every submitted task runs) and re-raise the
+   first error in input order. *)
+let first_error_or_values results =
   List.map
     (function Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
     results
 
+let serial_map ~f xs =
+  first_error_or_values
+    (List.map
+       (fun x ->
+         match f x with
+         | v -> Ok v
+         | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+       xs)
+
+(* Deterministic contiguous blocks of [n] (last may be shorter):
+   partitioning depends only on [n] and the input, never on timing. *)
 let chunks n xs =
   let rec go acc cur len = function
     | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
@@ -168,16 +205,46 @@ let chunks n xs =
   in
   go [] [] 0 xs
 
+let parallel_map ?(chunk = 1) t ~f xs =
+  let chunk = Stdlib.max 1 chunk in
+  if effective_parallelism t <= 1 then serial_map ~f xs
+  else if chunk = 1 then
+    let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+    first_error_or_values (List.map await_result futs)
+  else
+    (* one task per block; per-element results so a failing element
+       does not mask the rest of its block *)
+    let block b =
+      List.map
+        (fun x ->
+          match f x with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        b
+    in
+    let futs = List.map (fun b -> submit t (fun () -> block b)) (chunks chunk xs) in
+    let blocks =
+      List.map
+        (fun fut ->
+          match await_result fut with
+          | Ok rs -> rs
+          | Error (e, bt) ->
+              (* submit machinery itself failed (e.g. Pool_shutdown) *)
+              [ Error (e, bt) ])
+        futs
+    in
+    first_error_or_values (List.concat blocks)
+
+let auto_chunk t xs =
+  (* ~4 chunks per worker balances load without queue churn *)
+  let target = t.size * 4 in
+  Stdlib.max 1 ((List.length xs + target - 1) / target)
+
 let parallel_iter ?chunk t ~f xs =
   let chunk =
-    match chunk with
-    | Some c -> Stdlib.max 1 c
-    | None ->
-        (* ~4 chunks per worker balances load without queue churn *)
-        let target = t.size * 4 in
-        Stdlib.max 1 ((List.length xs + target - 1) / target)
+    match chunk with Some c -> Stdlib.max 1 c | None -> auto_chunk t xs
   in
-  parallel_map t ~f:(List.iter f) (chunks chunk xs) |> ignore
+  parallel_map ~chunk t ~f:(fun x -> f x) xs |> ignore
 
 (* Both shutdown flavours are idempotent and may be mixed: whoever
    observes [stop] already set returns without touching the (already
@@ -212,5 +279,7 @@ let with_pool ?size f =
   let t = create ?size () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map_list ?pool ~f xs =
-  match pool with None -> List.map f xs | Some t -> parallel_map t ~f xs
+let map_list ?pool ?chunk ~f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some t -> parallel_map ?chunk t ~f xs

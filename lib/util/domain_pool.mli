@@ -34,11 +34,23 @@ val default_size : unit -> int
     [\[1, 64\]]. *)
 
 val create : ?size:int -> unit -> t
-(** [create ~size ()] spawns [size] worker domains (clamped to
-    [\[1, 64\]]).  Without [?size], uses {!default_size}. *)
+(** [create ~size ()] makes a pool of [size] worker domains (clamped to
+    [\[1, 64\]]).  Without [?size], uses {!default_size}.  The domains
+    themselves are spawned on the first {!submit}: an idle domain still
+    joins every stop-the-world minor-GC barrier, so a pool whose maps
+    all take the serial-fallback path (see {!effective_parallelism})
+    never pays for domains it does not use. *)
 
 val size : t -> int
 (** Number of worker domains. *)
+
+val effective_parallelism : t -> int
+(** [min (size t) hw] where [hw] is [Domain.recommended_domain_count]
+    observed when the pool was created.  When this is [<= 1] the pool
+    cannot give any task a core of its own, and {!parallel_map} runs on
+    the submitting domain instead: on OCaml 5 every allocating domain
+    joins each minor-GC stop-the-world barrier, so two domains
+    time-slicing one core are measurably {e slower} than one. *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task.  @raise Invalid_argument if the pool was shut
@@ -50,10 +62,21 @@ val await : 'a future -> 'a
     called any number of times; subsequent calls return (or re-raise)
     immediately. *)
 
-val parallel_map : t -> f:('a -> 'b) -> 'a list -> 'b list
+val parallel_map : ?chunk:int -> t -> f:('a -> 'b) -> 'a list -> 'b list
 (** Map [f] over the list on the pool's workers.  Results are in input
-    order.  All tasks run to completion even when some raise; the first
-    (in input order) exception is then re-raised. *)
+    order.  All elements run to completion even when some raise; the
+    first (in input order) exception is then re-raised.
+
+    [?chunk] (default [1]) batches that many consecutive elements into
+    one pool task, amortising queue and future traffic when individual
+    elements are cheap.  The partition is deterministic — contiguous
+    blocks fixed by [chunk] and the input length, independent of
+    timing — so together with the in-order results the output is
+    identical at every chunk size and pool width.
+
+    When {!effective_parallelism} is [<= 1], runs serially on the
+    calling domain (same results, same exception semantics) rather than
+    shipping tasks to workers that would contend for the one core. *)
 
 val parallel_iter : ?chunk:int -> t -> f:('a -> unit) -> 'a list -> unit
 (** Apply [f] to every element, batching elements into chunks so short
@@ -79,7 +102,7 @@ val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down
     afterwards, including on exception. *)
 
-val map_list : ?pool:t -> f:('a -> 'b) -> 'a list -> 'b list
-(** [List.map] when [pool] is [None], {!parallel_map} otherwise.  The
-    convenience entry point for code with an optional [?pool]
-    parameter. *)
+val map_list : ?pool:t -> ?chunk:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** [List.map] when [pool] is [None], {!parallel_map} otherwise
+    ([?chunk] is ignored without a pool).  The convenience entry point
+    for code with an optional [?pool] parameter. *)

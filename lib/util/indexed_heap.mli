@@ -4,7 +4,13 @@
     Used by the fast ALG-DISCRETE implementation (per-user budget heaps
     and the cross-user minimum structure) and by priority-based
     eviction policies (Landlord, Belady).  Ties break toward the
-    smaller key, making every operation fully deterministic. *)
+    smaller key, making every operation fully deterministic.
+
+    Layout: structure-of-arrays (flat [int array] keys + [floatarray]
+    priorities + an open-addressing {!Int_tbl} key->slot index), so the
+    mutating operations allocate nothing once the arrays are at
+    capacity.  The key [min_int] is reserved by the index and rejected
+    with [Invalid_argument]. *)
 
 type t
 
@@ -21,6 +27,15 @@ val priority : t -> int -> float
 
 val peek : t -> (int * float) option
 (** Minimum entry, not removed. *)
+
+val min_key_exn : t -> int
+(** Key of the minimum entry, not removed.  Unlike {!peek} this
+    allocates nothing — the hot-path accessor for eviction loops.
+    @raise Invalid_argument on an empty heap. *)
+
+val min_prio_exn : t -> float
+(** Priority of the minimum entry, not removed.
+    @raise Invalid_argument on an empty heap. *)
 
 val peek_exn : t -> int * float
 (** @raise Invalid_argument on an empty heap. *)

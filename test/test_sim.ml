@@ -191,6 +191,38 @@ let test_early_eviction_hook () =
   checki "all miss" 4 (Engine.misses r);
   checki "evictions" 3 (Engine.evictions r)
 
+(* With observability off (the default) the request loop must allocate
+   O(1) bytes per request: no event records without a listener, no
+   boxed keys in the cache set, no per-touch heap entries.  Measured by
+   the *marginal* cost between a short and a long run of the same
+   workload, which cancels the O(k) setup (policy state, final cache
+   list) and any warm-up growth.  The bound is ~2x the worst measured
+   policy (alg-discrete-fast under eviction pressure, ~220 B/request
+   from floats boxed at non-inlined call boundaries), so it catches an
+   accidental per-request record or closure, not normal drift. *)
+let test_engine_alloc_per_request () =
+  let budget = 512.0 (* bytes/request, marginal *) in
+  let costs = Array.init 5 (fun _ -> Cf.monomial ~beta:2.0 ()) in
+  let bytes_for policy n =
+    let trace =
+      Ccache_trace.Workloads.generate ~seed:42 ~length:n
+        (Ccache_trace.Workloads.sqlvm_mix ~scale:1)
+    in
+    ignore (Engine.run ~k:64 ~costs policy trace);
+    (* warm *)
+    let b0 = Gc.allocated_bytes () in
+    ignore (Engine.run ~k:64 ~costs policy trace);
+    Gc.allocated_bytes () -. b0
+  in
+  List.iter
+    (fun policy ->
+      let b1 = bytes_for policy 2_000 and b2 = bytes_for policy 20_000 in
+      let marginal = (b2 -. b1) /. 18_000.0 in
+      if marginal > budget then
+        Alcotest.failf "%s allocates %.1f bytes/request (budget %.0f)"
+          (Policy.name policy) marginal budget)
+    [ Ccache_policies.Fifo.policy; Ccache_core.Alg_fast.policy ]
+
 (* ------------------------------------------------------------------ *)
 (* Windows                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -306,6 +338,8 @@ let () =
           Alcotest.test_case "costs length check" `Quick test_engine_costs_length_check;
           Alcotest.test_case "detects bad victim" `Quick test_engine_detects_bad_victim;
           Alcotest.test_case "early eviction hook" `Quick test_early_eviction_hook;
+          Alcotest.test_case "alloc budget per request" `Quick
+            test_engine_alloc_per_request;
         ] );
       ( "flush",
         [

@@ -5,6 +5,7 @@ module Stats = Ccache_util.Stats
 module Fc = Ccache_util.Float_cmp
 module Dlist = Ccache_util.Dlist
 module Heap = Ccache_util.Indexed_heap
+module Itbl = Ccache_util.Int_tbl
 module Tbl = Ccache_util.Ascii_table
 
 let checkb = Alcotest.(check bool)
@@ -384,6 +385,118 @@ let heap_model_test =
         Heap.peek h = min_model
       end)
 
+(* Drain equivalence against a naive sorted-list model: the heap's pop
+   sequence must equal the model sorted by (priority, key) — this pins
+   the deterministic tie-break, not just the minimum.  Ops go through
+   [set] (the upsert the hot path uses), so unchanged-priority re-sets
+   and both sift directions are exercised; priorities are drawn from a
+   handful of values to force duplicates. *)
+let heap_drain_model_test =
+  QCheck.Test.make ~name:"heap drain equals sorted-list model" ~count:200
+    QCheck.(
+      list (pair (int_range 0 4) (pair (int_range 0 15) (int_range 0 5))))
+    (fun ops ->
+      let h = Heap.create ~capacity:2 () in
+      let model : (int, float) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (op, (k, p)) ->
+          let p = float_of_int p in
+          match op with
+          | 0 | 1 | 2 ->
+              Heap.set h ~key:k ~prio:p;
+              Hashtbl.replace model k p
+          | 3 ->
+              if Heap.mem h k then begin
+                Heap.remove h k;
+                Hashtbl.remove model k
+              end
+          | _ ->
+              if Heap.mem h k then begin
+                (* priority must reflect the last write *)
+                if Heap.priority h k <> Hashtbl.find model k then
+                  QCheck.Test.fail_report "priority disagrees with model"
+              end)
+        ops;
+      if not (Heap.invariant_ok h) then false
+      else begin
+        let expected =
+          Hashtbl.fold (fun k p acc -> (k, p) :: acc) model []
+          |> List.sort (fun (k1, p1) (k2, p2) ->
+                 match Float.compare p1 p2 with
+                 | 0 -> Int.compare k1 k2
+                 | c -> c)
+        in
+        (if not (Heap.is_empty h) then
+           let mk = Heap.min_key_exn h and mp = Heap.min_prio_exn h in
+           if Some (mk, mp) <> Heap.peek h then
+             QCheck.Test.fail_report "min_key/min_prio disagree with peek");
+        let drained = ref [] in
+        let rec go () =
+          match Heap.pop h with
+          | Some kp ->
+              drained := kp :: !drained;
+              go ()
+          | None -> ()
+        in
+        go ();
+        List.rev !drained = expected
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Int_tbl                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_tbl_basic () =
+  let t = Itbl.create () in
+  checki "empty" 0 (Itbl.length t);
+  Itbl.set t 5 50;
+  Itbl.set t (-7) 70;
+  Itbl.set t 5 51;
+  checki "replace keeps one" 2 (Itbl.length t);
+  checki "find" 51 (Itbl.find_exn t 5);
+  checki "negative key" 70 (Itbl.find_exn t (-7));
+  checki "default" 9 (Itbl.find_default t ~default:9 99);
+  checkb "remove hit" true (Itbl.remove t 5);
+  checkb "remove miss" false (Itbl.remove t 5);
+  checkb "mem" true (Itbl.mem t (-7));
+  Itbl.clear t;
+  checki "cleared" 0 (Itbl.length t);
+  checkb "invariant" true (Itbl.invariant_ok t)
+
+let test_int_tbl_min_int_rejected () =
+  let t = Itbl.create () in
+  Alcotest.check_raises "reserved key"
+    (Invalid_argument "Int_tbl: key min_int is reserved") (fun () ->
+      Itbl.set t min_int 1)
+
+(* Model test vs Hashtbl: exercises growth from minimum capacity and
+   backward-shift deletion under heavy key reuse (keys from a small
+   range collide in probe runs once the table folds them down). *)
+let int_tbl_model_test =
+  QCheck.Test.make ~name:"int_tbl matches Hashtbl model" ~count:300
+    QCheck.(
+      list (pair (int_range 0 2) (pair (int_range (-25) 25) small_nat)))
+    (fun ops ->
+      let t = Itbl.create ~capacity:1 () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, (k, v)) ->
+          (match op with
+          | 0 | 1 ->
+              Itbl.set t k v;
+              Hashtbl.replace model k v
+          | _ ->
+              let removed = Itbl.remove t k in
+              if removed <> Hashtbl.mem model k then
+                QCheck.Test.fail_report "remove result disagrees";
+              Hashtbl.remove model k);
+          Itbl.invariant_ok t
+          && Itbl.length t = Hashtbl.length model
+          && Hashtbl.fold
+               (fun k v acc -> acc && Itbl.find_default t ~default:(v + 1) k = v)
+               model true)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Ascii_table                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -467,7 +580,14 @@ let () =
           Alcotest.test_case "set upsert" `Quick test_heap_set_upsert;
           Alcotest.test_case "pop order" `Quick test_heap_pop_order;
         ]
-        @ qsuite [ heap_model_test ] );
+        @ qsuite [ heap_model_test; heap_drain_model_test ] );
+      ( "int_tbl",
+        [
+          Alcotest.test_case "basic" `Quick test_int_tbl_basic;
+          Alcotest.test_case "min_int reserved" `Quick
+            test_int_tbl_min_int_rejected;
+        ]
+        @ qsuite [ int_tbl_model_test ] );
       ( "ascii_table",
         [
           Alcotest.test_case "render" `Quick test_table_render_plain;
