@@ -43,11 +43,11 @@ let flag_value name =
   !v
 
 (* --json PATH overrides the artifact destination; --smoke alone writes
-   the CI artifact BENCH_0005.json next to the working directory. *)
+   the CI artifact BENCH_0006.json next to the working directory. *)
 let json_path =
   match flag_value "--json" with
   | Some _ as p -> p
-  | None -> if smoke then Some "BENCH_0005.json" else None
+  | None -> if smoke then Some "BENCH_0006.json" else None
 
 let baseline_path = flag_value "--baseline"
 
@@ -229,6 +229,90 @@ let parallel_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Fused vs unfused sweeps                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two grid families, three arms:
+
+   - [mixed_*]: the E5/E13 table shape — every registry policy plus the
+     paper's algorithm at spreading cache sizes, one shared trace.
+     Policy work dominates, so fused and unfused track each other; the
+     rows pin down that fusion is free where it cannot win.
+   - [calib_*]: the E13 binding-calibration shape — an offline-policy
+     (belady) k-sweep over one shared trace.  Here the per-cell fixed
+     costs fusion amortizes (the O(T) trace index; for [percell], also
+     the trace generation) dominate the per-cell scan, which is where
+     the >= 3x shows up at 16+ cells.
+
+   Arms: [fused] scans the shared trace once (Sweep.run_fused);
+   [unfused] is exactly the --no-fused production path (one Engine.run
+   per cell, offline cells rebuilding their own index); [percell] is
+   the pre-fusion experiment pipeline — regenerate the trace and
+   rebuild the index for every cell, as the seed's grid experiments
+   (E2, E12) did before their traces were hoisted into shared cells. *)
+let sweep_cell_counts = [ 1; 4; 16; 64 ]
+
+let fused_policies =
+  lazy
+    (Ccache_policies.Registry.all
+    @ [ Ccache_core.Alg_discrete.policy; Ccache_core.Alg_fast.policy ])
+
+let mixed_cells n =
+  let pols = Lazy.force fused_policies in
+  let npol = List.length pols in
+  List.init n (fun i ->
+      Ccache_sim.Sweep.cell
+        ~k:(64 * (1 + (i / npol)))
+        ~costs:(Lazy.force fixture_costs)
+        (List.nth pols (i mod npol))
+        (Lazy.force fixture_trace))
+
+let calib_ks n = List.init n (fun i -> 424 + (4 * i))
+
+let calib_costs =
+  lazy (Array.init tenants (fun _ -> Cf.linear ~slope:1.0 ()))
+
+let calib_cells n =
+  List.map
+    (fun k ->
+      Ccache_sim.Sweep.cell ~k ~costs:(Lazy.force calib_costs)
+        Ccache_policies.Belady.policy (Lazy.force fixture_trace))
+    (calib_ks n)
+
+let calib_percell n () =
+  (* the seed pipeline: every cell regenerates and re-indexes *)
+  List.iter
+    (fun k ->
+      let trace = W.generate ~seed:99 ~length:trace_len (W.sqlvm_mix ~scale:2) in
+      ignore
+        (Engine.run ~k ~costs:(Lazy.force calib_costs)
+           Ccache_policies.Belady.policy trace))
+    (calib_ks n)
+
+let fused_tests =
+  let arm name cells run =
+    Test.make ~name (Staged.stage (fun () -> ignore (run (Lazy.force cells))))
+  in
+  Test.make_grouped ~name:"fused_vs_unfused"
+    (List.concat_map
+       (fun n ->
+         let mixed = lazy (mixed_cells n) and calib = lazy (calib_cells n) in
+         [
+           arm (Printf.sprintf "mixed_fused_%dcells" n) mixed
+             Ccache_sim.Sweep.run_fused;
+           arm (Printf.sprintf "mixed_unfused_%dcells" n) mixed
+             (Ccache_sim.Sweep.run_cells ~fuse:false);
+           arm (Printf.sprintf "calib_fused_%dcells" n) calib
+             Ccache_sim.Sweep.run_fused;
+           arm (Printf.sprintf "calib_unfused_%dcells" n) calib
+             (Ccache_sim.Sweep.run_cells ~fuse:false);
+           Test.make
+             ~name:(Printf.sprintf "calib_percell_%dcells" n)
+             (Staged.stage (calib_percell n));
+         ])
+       sweep_cell_counts)
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -313,6 +397,40 @@ let print_speedups rows =
             (prefix ^ " speedup") (serial /. pooled) pool_width
       | _ -> ())
     [ "e_suite"; "k_sweep" ]
+
+let run_fused_group () =
+  Printf.printf
+    "== fused vs unfused sweeps (mixed = E5/E13 grid, calib = offline k-sweep) ==\n%!";
+  let rows = report ~requests_per_run:None (analyze (benchmark fused_tests)) in
+  recorded := ("fused vs unfused", rows) :: !recorded;
+  (* crossover summary; the "/" anchors the match so "..._fused_N" can
+     never pick up the "..._unfused_N" row it is a suffix of *)
+  let find suffix =
+    List.find_map
+      (fun (name, ns) ->
+        let n = String.length name and s = String.length suffix in
+        if n >= s && String.sub name (n - s) s = suffix && not (Float.is_nan ns)
+        then Some ns
+        else None)
+      rows
+  in
+  let speedup label n num den =
+    match (find (Printf.sprintf "/%s_%dcells" num n),
+           find (Printf.sprintf "/%s_%dcells" den n))
+    with
+    | Some slow, Some fast when fast > 0.0 ->
+        Printf.printf "  %-42s %11.2fx\n"
+          (Printf.sprintf "%s, %d cells" label n)
+          (slow /. fast)
+    | _ -> ()
+  in
+  List.iter
+    (fun n ->
+      speedup "mixed: fused vs unfused" n "mixed_unfused" "mixed_fused";
+      speedup "calib: fused vs unfused" n "calib_unfused" "calib_fused";
+      speedup "calib: fused vs percell pipeline" n "calib_percell" "calib_fused")
+    sweep_cell_counts;
+  print_newline ()
 
 let run_parallel_group () =
   Printf.printf "== parallel vs serial (Domain_pool, %d workers) ==\n%!"
@@ -436,6 +554,7 @@ let () =
   run_group ~requests_per_run:trace_len "policy throughput, k=64" (policy_tests ~k:64);
   run_group ~requests_per_run:trace_len "policy throughput, k=1024" (policy_tests ~k:1024);
   run_group ~requests_per_run:trace_len "ALG-DISCRETE fast vs reference" fast_vs_ref_tests;
+  run_fused_group ();
   run_parallel_group ();
   Option.iter write_json json_path;
   let regressions =

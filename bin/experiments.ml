@@ -2,7 +2,8 @@
     EXPERIMENTS.md).
 
     Usage:
-      experiments [--full | --quick] [--markdown] [--jobs N] [ID ...]
+      experiments [--full | --quick] [--markdown] [--jobs N]
+                  [--fused | --no-fused] [ID ...]
                   [--timeout S] [--retries N] [--backoff S] [--jitter J]
                   [--chaos SEED:RATE] [--kill ID]
                   [--checkpoint FILE] [--resume]
@@ -84,12 +85,13 @@ let pp_event ppf = function
   | U.Supervisor.Replayed { task } ->
       Fmt.pf ppf "[supervisor] %s: replayed from checkpoint" task
 
-let run full quick markdown jobs timeout retries backoff jitter chaos kill
-    checkpoint_path resume trace_out metrics_out ids =
+let run full quick markdown jobs fused timeout retries backoff jitter chaos
+    kill checkpoint_path resume trace_out metrics_out ids =
   if full && quick then begin
     Fmt.epr "--full and --quick are mutually exclusive@.";
     exit 2
   end;
+  Ccache_sim.Sweep.set_fused fused;
   let size = if full then A.Experiment.Full else A.Experiment.Quick in
   let fmt = if markdown then A.Report.Markdown else A.Report.Text in
   let specs =
@@ -171,6 +173,22 @@ let jobs =
            sequential, 0 = one per core, i.e. CCACHE_JOBS or the \
            recommended domain count).  Output is identical at every N.")
 
+let fused =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "fused" ]
+              ~doc:
+                "Scan each shared trace once for a whole grid of engine \
+                 cells (the default).  Byte-identical to --no-fused; CI \
+                 enforces the equivalence." );
+          ( false,
+            info [ "no-fused" ]
+              ~doc:"Run every engine cell as its own trace scan." );
+        ])
+
 let timeout =
   Arg.(
     value & opt (some float) None
@@ -249,8 +267,8 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the convex-caching experiment suite")
     Term.(
-      const run $ full $ quick $ markdown $ jobs $ timeout $ retries $ backoff
-      $ jitter $ chaos $ kill $ checkpoint $ resume $ trace_out $ metrics_out
-      $ ids)
+      const run $ full $ quick $ markdown $ jobs $ fused $ timeout $ retries
+      $ backoff $ jitter $ chaos $ kill $ checkpoint $ resume $ trace_out
+      $ metrics_out $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,27 +32,50 @@ let run size =
       Ccache_core.Alg_fast.policy;
     ]
   in
-  let tables =
-    List.map
+  (* One fused batch covers the ablation grid AND the fast-vs-reference
+     agreement re-runs (two extra cells per k, matching the old
+     recomputation exactly). *)
+  let grid_cells =
+    List.concat_map
       (fun k ->
-        let results =
-          List.map (fun p -> Engine.run ~k ~costs:monomial p s.Scenarios.trace) variants
-        in
+        List.map
+          (fun p -> Ccache_sim.Sweep.cell ~k ~costs:monomial p s.Scenarios.trace)
+          variants)
+      ks
+  in
+  let agree_cells =
+    List.concat_map
+      (fun k ->
+        [
+          Ccache_sim.Sweep.cell ~k ~costs:monomial Alg.policy s.Scenarios.trace;
+          Ccache_sim.Sweep.cell ~k ~costs:monomial Ccache_core.Alg_fast.policy
+            s.Scenarios.trace;
+        ])
+      ks
+  in
+  let all_results = Ccache_sim.Sweep.run_cells (grid_cells @ agree_cells) in
+  let n_grid = List.length grid_cells in
+  let grid_results = List.filteri (fun i _ -> i < n_grid) all_results in
+  let agree_results = List.filteri (fun i _ -> i >= n_grid) all_results in
+  let tables =
+    List.map2
+      (fun k results ->
         Metrics.comparison_table
           ~title:
             (Printf.sprintf "E9: ALG-DISCRETE ablations, %s, x^2 costs, k=%d"
                s.Scenarios.name k)
           ~costs:monomial results)
       ks
+      (Ccache_sim.Sweep.rows ~width:(List.length variants) grid_results)
   in
   (* fast = reference cost identity *)
   let agree =
     List.for_all
-      (fun k ->
-        let a = Engine.run ~k ~costs:monomial Alg.policy s.Scenarios.trace in
-        let b = Engine.run ~k ~costs:monomial Ccache_core.Alg_fast.policy s.Scenarios.trace in
-        a.Engine.misses_per_user = b.Engine.misses_per_user)
-      ks
+      (fun pair ->
+        match pair with
+        | [ a; b ] -> a.Engine.misses_per_user = b.Engine.misses_per_user
+        | _ -> assert false)
+      (Ccache_sim.Sweep.rows ~width:2 agree_results)
   in
   Experiment.output ~id:"e9" ~title:"ALG-DISCRETE ablations"
     ~notes:

@@ -51,10 +51,25 @@ let run size =
       stats.WG.pages_per_tenant
   in
   (* binding regime: tolerances sit 30% above the offline optimum's
-     per-tenant misses (the oracle is used only to size the scenario) *)
+     per-tenant misses (the oracle is used only to size the scenario).
+     The per-k belady calibration runs are themselves one fused batch
+     over the shared trace. *)
+  let belady_by_k =
+    let uni =
+      Array.map
+        (fun _ -> Ccache_cost.Cost_function.linear ~slope:1.0 ())
+        stats.WG.pages_per_tenant
+    in
+    List.combine ks
+      (Ccache_sim.Sweep.run_cells
+         (List.map
+            (fun k ->
+              Ccache_sim.Sweep.cell ~k ~costs:uni Ccache_policies.Belady.policy
+                trace)
+            ks))
+  in
   let binding_costs ~k =
-    let uni = Array.map (fun _ -> Ccache_cost.Cost_function.linear ~slope:1.0 ()) stats.WG.pages_per_tenant in
-    let belady = Engine.run ~k ~costs:uni Ccache_policies.Belady.policy trace in
+    let belady = List.assoc k belady_by_k in
     Array.mapi
       (fun u _ ->
         let baseline = float_of_int belady.Engine.misses_per_user.(u) in
@@ -84,30 +99,46 @@ let run size =
     in
     go (Tbl.rows tbl)
   in
-  let regime_tables ~regime ~costs_of_k =
-    List.map
-      (fun k ->
-        let costs = costs_of_k ~k in
-        let results = List.map (fun p -> Engine.run ~k ~costs p trace) policies in
-        Metrics.comparison_table
-          ~title:
-            (Printf.sprintf "E13: %s SLAs, k=%d (%d queries, %d page requests)"
-               regime k queries (Ccache_trace.Trace.length trace))
-          ~costs results)
-      ks
-  in
-  let saturated_tables =
-    regime_tables ~regime:"saturated" ~costs_of_k:(fun ~k:_ -> saturated_costs)
-  in
-  let binding_tables = regime_tables ~regime:"binding" ~costs_of_k:binding_costs in
   let smooth_costs =
     [|
       Ccache_cost.Cost_function.monomial ~beta:2.0 ();
       Ccache_cost.Cost_function.linear ~slope:1.0 ();
     |]
   in
-  let smooth_tables =
-    regime_tables ~regime:"smooth convex" ~costs_of_k:(fun ~k:_ -> smooth_costs)
+  (* All three regimes share the one compiled trace, so the whole
+     regime x k x policy grid is a single fused scan. *)
+  let regime_points =
+    List.concat_map
+      (fun (regime, costs_of_k) ->
+        List.map (fun k -> (regime, k, costs_of_k ~k)) ks)
+      [
+        ("saturated", fun ~k:_ -> saturated_costs);
+        ("binding", fun ~k -> binding_costs ~k);
+        ("smooth convex", fun ~k:_ -> smooth_costs);
+      ]
+  in
+  let grid_results =
+    Ccache_sim.Sweep.run_cells
+      (List.concat_map
+         (fun (_, k, costs) ->
+           List.map (fun p -> Ccache_sim.Sweep.cell ~k ~costs p trace) policies)
+         regime_points)
+  in
+  let point_tables =
+    List.map2
+      (fun (regime, k, costs) results ->
+        Metrics.comparison_table
+          ~title:
+            (Printf.sprintf "E13: %s SLAs, k=%d (%d queries, %d page requests)"
+               regime k queries (Ccache_trace.Trace.length trace))
+          ~costs results)
+      regime_points
+      (Ccache_sim.Sweep.rows ~width:(List.length policies) grid_results)
+  in
+  let saturated_tables, binding_tables, smooth_tables =
+    match Ccache_sim.Sweep.rows ~width:(List.length ks) point_tables with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
   in
   let cost_aware name =
     name = "alg-discrete" || name = "alg-discrete-fast" || name = "landlord-adaptive"

@@ -30,20 +30,41 @@ let run size =
       ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
       [ "k"; "offline"; "fractional"; "lru"; "alg-discrete"; "frac/off"; "ln k + 1" ]
   in
-  List.iter
-    (fun k ->
-      let trace =
-        Ccache_trace.Workloads.generate ~seed:121 ~length
-          (Ccache_trace.Workloads.lru_nemesis ~k)
+  (* Each k has its own k+1-cycle trace, so the fused run degenerates
+     to one group per k (the per-group fallback); within a k the two
+     integral policies still share a single scan. *)
+  let nemesis_costs = [| Cf.linear ~slope:1.0 () |] in
+  let nemesis_traces =
+    List.map
+      (fun k ->
+        ( k,
+          Ccache_trace.Workloads.generate ~seed:121 ~length
+            (Ccache_trace.Workloads.lru_nemesis ~k) ))
+      ks
+  in
+  let nemesis_results =
+    Ccache_sim.Sweep.run_cells
+      (List.concat_map
+         (fun (k, trace) ->
+           [
+             Ccache_sim.Sweep.cell ~k ~costs:nemesis_costs
+               Ccache_policies.Lru.policy trace;
+             Ccache_sim.Sweep.cell ~k ~costs:nemesis_costs
+               Ccache_core.Alg_discrete.policy trace;
+           ])
+         nemesis_traces)
+  in
+  List.iter2
+    (fun (k, trace) pair ->
+      let lru, alg =
+        match pair with [ a; b ] -> (a, b) | _ -> assert false
       in
-      let costs = [| Cf.linear ~slope:1.0 () |] in
+      let costs = nemesis_costs in
       let offline =
         Ccache_offline.Best_of.compute ~local_search_rounds:0 ~cache_size:k
           ~costs trace
       in
       let frac = Frac.run ~k ~costs trace in
-      let lru = Engine.run ~k ~costs Ccache_policies.Lru.policy trace in
-      let alg = Engine.run ~k ~costs Ccache_core.Alg_discrete.policy trace in
       let cost r = Ccache_sim.Metrics.total_cost ~costs r in
       Tbl.add_row nemesis
         [
@@ -56,7 +77,8 @@ let run size =
             (frac.Frac.movement_cost /. offline.Ccache_offline.Best_of.cost);
           Tbl.cell_float ~digits:3 (log (float_of_int k) +. 1.0);
         ])
-    ks;
+    nemesis_traces
+    (Ccache_sim.Sweep.rows ~width:2 nemesis_results);
   (* --- regime 2: weighted multi-tenant --- *)
   let weighted =
     Tbl.create
@@ -64,21 +86,37 @@ let run size =
       ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
       [ "k"; "offline"; "fractional"; "alg-discrete"; "landlord" ]
   in
-  List.iter
-    (fun k ->
-      let trace =
-        Ccache_trace.Workloads.generate ~seed:122 ~length
-          (Ccache_trace.Workloads.symmetric_zipf ~tenants:4 ~pages_per_tenant:40
-             ~skew:0.8)
+  (* The weighted trace does not depend on k — hoist it so every
+     (k, policy) cell shares one scan. *)
+  let wtrace =
+    Ccache_trace.Workloads.generate ~seed:122 ~length
+      (Ccache_trace.Workloads.symmetric_zipf ~tenants:4 ~pages_per_tenant:40
+         ~skew:0.8)
+  in
+  let wcosts = Scenarios.weighted_costs 4 in
+  let weighted_results =
+    Ccache_sim.Sweep.run_cells
+      (List.concat_map
+         (fun k ->
+           [
+             Ccache_sim.Sweep.cell ~k ~costs:wcosts
+               Ccache_core.Alg_discrete.policy wtrace;
+             Ccache_sim.Sweep.cell ~k ~costs:wcosts
+               Ccache_policies.Landlord.adaptive wtrace;
+           ])
+         ks)
+  in
+  List.iter2
+    (fun k pair ->
+      let alg, ll =
+        match pair with [ a; b ] -> (a, b) | _ -> assert false
       in
-      let costs = Scenarios.weighted_costs 4 in
+      let costs = wcosts in
       let offline =
         Ccache_offline.Best_of.compute ~local_search_rounds:0 ~cache_size:k
-          ~costs trace
+          ~costs wtrace
       in
-      let frac = Frac.run ~k ~costs trace in
-      let alg = Engine.run ~k ~costs Ccache_core.Alg_discrete.policy trace in
-      let ll = Engine.run ~k ~costs Ccache_policies.Landlord.adaptive trace in
+      let frac = Frac.run ~k ~costs wtrace in
       let cost r = Ccache_sim.Metrics.total_cost ~costs r in
       Tbl.add_row weighted
         [
@@ -88,7 +126,8 @@ let run size =
           Tbl.cell_float ~digits:6 (cost alg);
           Tbl.cell_float ~digits:6 (cost ll);
         ])
-    ks;
+    ks
+    (Ccache_sim.Sweep.rows ~width:2 weighted_results);
   Experiment.output ~id:"e12" ~title:"Fractional relaxation online (BBN substrate)"
     ~notes:
       [

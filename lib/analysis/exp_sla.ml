@@ -22,16 +22,25 @@ let run size =
     Ccache_policies.Registry.all
     @ [ Ccache_core.Alg_discrete.policy; Ccache_core.Alg_fast.policy ]
   in
+  (* The whole (k, policy) grid shares one trace: the fused path scans
+     it once for all |ks| * |policies| engine cells. *)
+  let results =
+    Ccache_sim.Sweep.run_cells
+      (List.concat_map
+         (fun k ->
+           List.map
+             (fun p -> Ccache_sim.Sweep.cell ~k ~costs p s.Scenarios.trace)
+             policies)
+         ks)
+  in
   let tables =
-    List.map
-      (fun k ->
-        let results =
-          List.map (fun p -> Engine.run ~k ~costs p s.Scenarios.trace) policies
-        in
+    List.map2
+      (fun k results ->
         Metrics.comparison_table
           ~title:(Printf.sprintf "E5: SLA workload %s, k=%d" s.Scenarios.name k)
           ~costs results)
       ks
+      (Ccache_sim.Sweep.rows ~width:(List.length policies) results)
   in
   Experiment.output ~id:"e5" ~title:"SLA cost-aware vs cost-blind baselines"
     ~notes:

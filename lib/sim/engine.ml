@@ -79,119 +79,167 @@ let record_obs r =
     (fun e -> M.observe ("engine/" ^ p ^ "/evictions_per_user") (float_of_int e))
     r.evictions_per_user
 
-let run_inner ?(flush = false) ?on_event ?index ~k ~costs policy trace =
-  let real_users = Trace.n_users trace in
-  if Array.length costs <> real_users then
-    invalid_arg "Engine.run: costs array must have one entry per user";
-  let index =
-    match index with
-    | Some idx -> Some idx
-    | None -> if Policy.needs_future policy then Some (Trace.Index.build trace) else None
-  in
-  let config = Policy.Config.make ?index ~k ~costs () in
-  let h = Policy.instantiate policy config in
-  (* The cache set keys on the packed page int directly: an
-     open-addressing table with flat int arrays, no boxed keys to hash
-     and nothing allocated per request.  Capacity k+1 already gives a
-     table that never rehashes mid-trace (it is sized to twice the
-     requested capacity, and occupancy never exceeds k); asking for
-     more just spreads the hot probes over more cache lines. *)
-  let cached = Ccache_util.Int_tbl.create ~capacity:(k + 1) () in
-  let is_cached page = Ccache_util.Int_tbl.mem cached (Page.pack page) in
-  let cache_add page = Ccache_util.Int_tbl.set cached (Page.pack page) 1 in
-  let cache_remove page =
-    ignore (Ccache_util.Int_tbl.remove cached (Page.pack page))
-  in
-  let occupancy () = Ccache_util.Int_tbl.length cached in
-  let n_accounts = Trace.n_users trace in
-  let misses_per_user = Array.make n_accounts 0 in
-  let evictions_per_user = Array.make n_accounts 0 in
-  let hits = ref 0 in
+(** Stepping form of the engine: [init] builds the per-run state,
+    [step] replays one trace position, [finish] runs the optional
+    terminal flush and assembles the {!result}.  [run_inner] below is
+    exactly [init] + a [step] loop + [finish]; the split exists so the
+    fused sweep driver ({!Ccache_sim.Sweep.run_fused}) can advance many
+    engine instances in lockstep over a single trace scan.  The state
+    is one record of flat arrays and mutable counters, so a batch of
+    cells stays cache-resident between steps. *)
+module Step = struct
+  type t = {
+    policy : Policy.t;
+    trace : Trace.t;
+    k : int;
+    real_users : int;
+    h : Policy.handlers;
+    cached : Ccache_util.Int_tbl.t;
+    misses_per_user : int array;
+    evictions_per_user : int array;
+    mutable hits : int;
+    flush : bool;
+    on_event : (event -> unit) option;
+  }
+
+  let init ?(flush = false) ?on_event ?index ~k ~costs policy trace =
+    let real_users = Trace.n_users trace in
+    if Array.length costs <> real_users then
+      invalid_arg "Engine.run: costs array must have one entry per user";
+    let index =
+      match index with
+      | Some idx -> Some idx
+      | None ->
+          if Policy.needs_future policy then Some (Trace.Index.build trace)
+          else None
+    in
+    let config = Policy.Config.make ?index ~k ~costs () in
+    let h = Policy.instantiate policy config in
+    (* The cache set keys on the packed page int directly: an
+       open-addressing table with flat int arrays, no boxed keys to hash
+       and nothing allocated per request.  Capacity k+1 already gives a
+       table that never rehashes mid-trace (it is sized to twice the
+       requested capacity, and occupancy never exceeds k); asking for
+       more just spreads the hot probes over more cache lines. *)
+    let cached = Ccache_util.Int_tbl.create ~capacity:(k + 1) () in
+    {
+      policy;
+      trace;
+      k;
+      real_users;
+      h;
+      cached;
+      misses_per_user = Array.make real_users 0;
+      evictions_per_user = Array.make real_users 0;
+      hits = 0;
+      flush;
+      on_event;
+    }
+
+  let length t = Trace.length t.trace
+
+  let is_cached t page = Ccache_util.Int_tbl.mem t.cached (Page.pack page)
+  let cache_add t page = Ccache_util.Int_tbl.set t.cached (Page.pack page) 1
+  let cache_remove t page =
+    ignore (Ccache_util.Int_tbl.remove t.cached (Page.pack page))
+  let occupancy t = Ccache_util.Int_tbl.length t.cached
+
   (* Event records are built inside the [Some] branches only, so runs
      without a listener allocate nothing per decision. *)
-  let emit_hit pos page =
-    match on_event with Some f -> f (Hit { pos; page }) | None -> ()
-  in
-  let emit_insert pos page =
-    match on_event with Some f -> f (Miss_insert { pos; page }) | None -> ()
-  in
-  let emit_evict pos page victim =
-    match on_event with
-    | Some f -> f (Miss_evict { pos; page; victim })
-    | None -> ()
-  in
-  let n = Trace.length trace in
-  for pos = 0 to n - 1 do
-    let page = Trace.request trace pos in
-    if is_cached page then begin
-      incr hits;
+  let step t pos =
+    let page = Trace.request t.trace pos in
+    let h = t.h in
+    if is_cached t page then begin
+      t.hits <- t.hits + 1;
       h.Policy.on_hit ~pos page;
-      emit_hit pos page
+      match t.on_event with Some f -> f (Hit { pos; page }) | None -> ()
     end
     else begin
-      misses_per_user.(Page.user page) <- misses_per_user.(Page.user page) + 1;
-      let occ = occupancy () in
-      if occ >= k || (occ > 0 && h.Policy.wants_evict ~pos ~incoming:page)
+      t.misses_per_user.(Page.user page) <-
+        t.misses_per_user.(Page.user page) + 1;
+      let occ = occupancy t in
+      if occ >= t.k || (occ > 0 && h.Policy.wants_evict ~pos ~incoming:page)
       then begin
         let victim = h.Policy.choose_victim ~pos ~incoming:page in
-        if not (is_cached victim) then
-          policy_error "%s: victim %s is not cached (pos %d)" (Policy.name policy)
-            (Page.to_string victim) pos;
+        if not (is_cached t victim) then
+          policy_error "%s: victim %s is not cached (pos %d)"
+            (Policy.name t.policy) (Page.to_string victim) pos;
         if Page.equal victim page then
           policy_error "%s: victim equals incoming page %s (pos %d)"
-            (Policy.name policy) (Page.to_string page) pos;
-        cache_remove victim;
-        evictions_per_user.(Page.user victim) <-
-          evictions_per_user.(Page.user victim) + 1;
+            (Policy.name t.policy) (Page.to_string page) pos;
+        cache_remove t victim;
+        t.evictions_per_user.(Page.user victim) <-
+          t.evictions_per_user.(Page.user victim) + 1;
         h.Policy.on_evict ~pos victim;
-        cache_add page;
+        cache_add t page;
         h.Policy.on_insert ~pos page;
-        emit_evict pos page victim
+        match t.on_event with
+        | Some f -> f (Miss_evict { pos; page; victim })
+        | None -> ()
       end
       else begin
-        cache_add page;
+        cache_add t page;
         h.Policy.on_insert ~pos page;
-        emit_insert pos page
+        match t.on_event with
+        | Some f -> f (Miss_insert { pos; page })
+        | None -> ()
       end;
-      if occupancy () > k then
-        policy_error "%s: cache exceeded k=%d (pos %d)" (Policy.name policy) k pos
+      if occupancy t > t.k then
+        policy_error "%s: cache exceeded k=%d (pos %d)" (Policy.name t.policy)
+          t.k pos
     end
-  done;
+
   (* Terminal flush: the dummy user's k requests evict every remaining
      real page; dummy pages are pinned so they are never inserted. *)
-  if flush then begin
-    for step = 0 to k - 1 do
-      if occupancy () > 0 then begin
-        let pos = n + step in
-        let dummy = Page.make ~user:real_users ~id:step in
-        let victim = h.Policy.choose_victim ~pos ~incoming:dummy in
-        if not (is_cached victim) then
-          policy_error "%s: flush victim %s is not cached" (Policy.name policy)
-            (Page.to_string victim);
-        cache_remove victim;
-        evictions_per_user.(Page.user victim) <-
-          evictions_per_user.(Page.user victim) + 1;
-        h.Policy.on_evict ~pos victim;
-        emit_evict pos dummy victim
-      end
-    done;
-    if occupancy () > 0 then
-      policy_error "%s: flush left %d pages cached (need k >= cache)"
-        (Policy.name policy) (occupancy ())
-  end;
-  let final_cache =
-    Ccache_util.Int_tbl.fold (fun p _ acc -> Page.unpack p :: acc) cached []
-  in
-  {
-    policy = Policy.name policy;
-    k;
-    trace_length = Trace.length trace;
-    n_users = real_users;
-    hits = !hits;
-    misses_per_user;
-    evictions_per_user;
-    final_cache = List.sort Page.compare final_cache;
-  }
+  let finish t =
+    let n = Trace.length t.trace in
+    if t.flush then begin
+      for step = 0 to t.k - 1 do
+        if occupancy t > 0 then begin
+          let pos = n + step in
+          let dummy = Page.make ~user:t.real_users ~id:step in
+          let victim = t.h.Policy.choose_victim ~pos ~incoming:dummy in
+          if not (is_cached t victim) then
+            policy_error "%s: flush victim %s is not cached"
+              (Policy.name t.policy) (Page.to_string victim);
+          cache_remove t victim;
+          t.evictions_per_user.(Page.user victim) <-
+            t.evictions_per_user.(Page.user victim) + 1;
+          t.h.Policy.on_evict ~pos victim;
+          match t.on_event with
+          | Some f -> f (Miss_evict { pos; page = dummy; victim })
+          | None -> ()
+        end
+      done;
+      if occupancy t > 0 then
+        policy_error "%s: flush left %d pages cached (need k >= cache)"
+          (Policy.name t.policy) (occupancy t)
+    end;
+    let final_cache =
+      Ccache_util.Int_tbl.fold (fun p _ acc -> Page.unpack p :: acc) t.cached []
+    in
+    {
+      policy = Policy.name t.policy;
+      k = t.k;
+      trace_length = n;
+      n_users = t.real_users;
+      hits = t.hits;
+      misses_per_user = t.misses_per_user;
+      evictions_per_user = t.evictions_per_user;
+      final_cache = List.sort Page.compare final_cache;
+    }
+end
+
+let run_inner ?flush ?on_event ?index ~k ~costs policy trace =
+  let st = Step.init ?flush ?on_event ?index ~k ~costs policy trace in
+  for pos = 0 to Step.length st - 1 do
+    Step.step st pos
+  done;
+  Step.finish st
+
+(* Exported for the fused sweep driver, which computes results through
+   {!Step} and must then account them exactly as {!run} would have. *)
+let record_result_obs = record_obs
 
 let run ?flush ?on_event ?index ~k ~costs policy trace =
   if not (Ccache_obs.Control.enabled ()) then

@@ -41,6 +41,48 @@ val miss_ratio : result -> float
 
 exception Policy_error of string
 
+(** Stepping form of the engine.  [init] builds the full per-run state
+    (policy instance, cache set, accounting arrays); [step t pos]
+    replays the request at trace position [pos]; [finish] runs the
+    optional terminal flush and assembles the {!result}.  {!run} is
+    exactly [init] + a [step] loop over [0 .. length - 1] + [finish] —
+    the split lets {!Ccache_sim.Sweep.run_fused} drive many engine
+    instances in lockstep over a single trace scan.
+
+    Positions must be fed in order [0, 1, ..., length - 1], each
+    exactly once, before [finish]; [finish] must be called at most
+    once.  The state is single-run and single-domain, like a policy
+    instance. *)
+module Step : sig
+  type t
+
+  val init :
+    ?flush:bool ->
+    ?on_event:(event -> unit) ->
+    ?index:Trace.Index.t ->
+    k:int ->
+    costs:Ccache_cost.Cost_function.t array ->
+    Policy.t ->
+    Trace.t ->
+    t
+  (** Same parameters and validation as {!run}. *)
+
+  val length : t -> int
+  (** Trace length: the number of [step] calls [finish] expects. *)
+
+  val step : t -> int -> unit
+  (** Replay one request. @raise Policy_error if the policy misbehaves. *)
+
+  val finish : t -> result
+  (** Terminal flush (when [init] was given [~flush:true]) plus result
+      assembly. *)
+end
+
+val record_result_obs : result -> unit
+(** Record the per-run observability counters {!run} records after a
+    completed run; no-op while recording is off.  Exposed so the fused
+    sweep driver can keep obs metrics identical to per-cell {!run}s. *)
+
 val run :
   ?flush:bool ->
   ?on_event:(event -> unit) ->

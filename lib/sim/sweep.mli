@@ -35,6 +35,72 @@ val run_seeded :
     before any cell executes.  Output is bit-for-bit identical across
     pool sizes, including no pool at all. *)
 
+(** {1 Fused single-pass engine sweeps}
+
+    A sweep over (policy, k, costs) cells that share one request trace
+    does not need one trace replay per cell: {!run_fused} scans the
+    trace once and advances every cell's engine in lockstep through the
+    {!Engine.Step} API.  The output is byte-identical to per-cell
+    {!Engine.run}s — same results in the same order, same obs metrics —
+    which the CI fused-equivalence job enforces end to end. *)
+
+type cell = {
+  policy : Policy.t;
+  k : int;
+  costs : Ccache_cost.Cost_function.t array;
+  flush : bool;
+  trace : Ccache_trace.Trace.t;
+}
+
+val cell :
+  ?flush:bool ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  Policy.t ->
+  Ccache_trace.Trace.t ->
+  cell
+(** One engine run's parameters ([flush] defaults to false), mirroring
+    {!Engine.run}'s. *)
+
+val set_fused : bool -> unit
+(** Process-wide switch consulted by {!run_cells} (the [--fused] /
+    [--no-fused] flag); fused is the default. *)
+
+val fused_enabled : unit -> bool
+
+val group_indices : cell list -> int list list
+(** The fused partition: cell indices grouped by *physical* trace
+    identity, groups in first-touch order, indices ascending within a
+    group.  Cells whose traces are equal but not shared ([==]) land in
+    separate groups and fall back to solo scans. *)
+
+val run_fused : ?pool:Ccache_util.Domain_pool.t -> ?chunk:int -> cell list -> Engine.result list
+(** Run every cell, scanning each distinct (physically shared) trace
+    exactly once; results are in input order.  With [?pool], whole
+    groups are distributed over the pool's workers ([?chunk] batches
+    consecutive groups per task) — the result is identical at every
+    width and grain.  A singleton group degenerates to an ordinary
+    engine run over its own scan. *)
+
+val rows : width:int -> 'a list -> 'a list list
+(** Split a flat row-major list into rows of [width] — the inverse of
+    building a grid's cells with [List.concat_map].
+    @raise Invalid_argument if [width <= 0] or the length is not a
+    multiple of [width]. *)
+
+val run_cells :
+  ?pool:Ccache_util.Domain_pool.t ->
+  ?chunk:int ->
+  ?fuse:bool ->
+  cell list ->
+  Engine.result list
+(** {!run_fused} when fusing is enabled (the {!set_fused} switch AND
+    the per-call [?fuse], default true), per-cell {!Engine.run}s
+    otherwise.  Callers whose cells are data-dependent — a later cell's
+    trace or costs derived from an earlier result, or traces mutated
+    between cells — must pass [~fuse:false] (the per-experiment
+    opt-out); everyone else gets the single-pass path for free. *)
+
 val run_supervised :
   ?pool:Ccache_util.Domain_pool.t ->
   ?policy:Ccache_util.Supervisor.policy ->

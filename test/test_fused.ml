@@ -1,0 +1,215 @@
+(* Fused single-pass sweeps: Sweep.run_fused / run_cells must be
+   byte-identical to per-cell Engine.run over arbitrary (policy, k,
+   costs, trace) grids — the invariant the fused-equivalence CI job
+   enforces end to end on the suite, checked here at the API level.
+   Also covers the Engine.Step API directly and the deterministic
+   serial chunking of Domain_pool.map_list (the --jobs-width obs
+   contract). *)
+
+module Pool = Ccache_util.Domain_pool
+module Sweep = Ccache_sim.Sweep
+module Engine = Ccache_sim.Engine
+module W = Ccache_trace.Workloads
+module Cf = Ccache_cost.Cost_function
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let tenants = 3
+
+let make_trace ~seed ~length =
+  W.generate ~seed ~length
+    (W.symmetric_zipf ~tenants ~pages_per_tenant:24 ~skew:0.8)
+
+(* Online, offline (needs_future, so the fused group shares one trace
+   index) and the paper's algorithms all in one pool. *)
+let policy_pool =
+  [|
+    Ccache_policies.Lru.policy;
+    Ccache_policies.Lfu.policy;
+    Ccache_policies.Landlord.adaptive;
+    Ccache_core.Alg_discrete.policy;
+    Ccache_core.Alg_fast.policy;
+    Ccache_policies.Belady.policy;
+    Ccache_policies.Convex_belady.policy;
+  |]
+
+let costs_of ~beta =
+  Array.init tenants (fun i ->
+      if i = 0 then Cf.linear ~slope:2.0 () else Cf.monomial ~beta ())
+
+(* The unfused reference: one plain Engine.run per cell. *)
+let solo (c : Sweep.cell) =
+  Engine.run ~flush:c.Sweep.flush ~k:c.Sweep.k ~costs:c.Sweep.costs
+    c.Sweep.policy c.Sweep.trace
+
+(* One random grid: a shared trace plus a list of heterogeneous cells
+   over it.  [Engine.result] is a record of scalars, arrays and page
+   lists, so structural equality is the byte-identity check. *)
+let cell_params =
+  QCheck.(
+    list_of_size Gen.(int_range 1 8)
+      (triple (int_range 0 (Array.length policy_pool - 1)) (int_range 1 40)
+         bool))
+
+let cells_over trace params =
+  List.map
+    (fun (pi, k, flush) ->
+      let beta = 1.0 +. (float_of_int (k mod 5) /. 2.0) in
+      Sweep.cell ~flush ~k ~costs:(costs_of ~beta) policy_pool.(pi) trace)
+    params
+
+let fused_matches_solo =
+  QCheck.Test.make ~name:"run_fused = per-cell Engine.run" ~count:40
+    QCheck.(triple (int_range 0 1000) (int_range 50 400) cell_params)
+    (fun (seed, length, params) ->
+      QCheck.assume (params <> []);
+      let trace = make_trace ~seed ~length in
+      let cells = cells_over trace params in
+      Sweep.run_fused cells = List.map solo cells)
+
+let fused_matches_solo_distinct_traces =
+  (* cells alternating over two physically distinct traces: the fused
+     partition degenerates to one group per trace, and the per-group
+     fallback must still reproduce the solo runs exactly *)
+  QCheck.Test.make ~name:"run_fused with distinct traces (per-group fallback)"
+    ~count:25
+    QCheck.(triple (int_range 0 1000) (int_range 50 300) cell_params)
+    (fun (seed, length, params) ->
+      QCheck.assume (List.length params >= 2);
+      let t1 = make_trace ~seed ~length in
+      let t2 = make_trace ~seed:(seed + 1) ~length in
+      let cells =
+        List.mapi
+          (fun i c -> { c with Sweep.trace = (if i mod 2 = 0 then t1 else t2) })
+          (cells_over t1 params)
+      in
+      List.length (Sweep.group_indices cells) = 2
+      && Sweep.run_fused cells = List.map solo cells)
+
+let fused_matches_solo_pooled =
+  (* whole groups distributed over a pool, chunked — same results in
+     the same order at any width and grain *)
+  QCheck.Test.make ~name:"run_fused on a chunked Domain_pool" ~count:10
+    QCheck.(
+      quad (int_range 0 1000) (int_range 50 200) (int_range 1 3) cell_params)
+    (fun (seed, length, chunk, params) ->
+      QCheck.assume (params <> []);
+      let traces =
+        Array.init 3 (fun i -> make_trace ~seed:(seed + i) ~length)
+      in
+      let cells =
+        List.mapi
+          (fun i c -> { c with Sweep.trace = traces.(i mod 3) })
+          (cells_over traces.(0) params)
+      in
+      let expected = List.map solo cells in
+      Pool.with_pool ~size:2 (fun pool ->
+          Sweep.run_fused ~pool ~chunk cells = expected))
+
+let step_matches_run =
+  (* the stepping API driven by hand is the engine *)
+  QCheck.Test.make ~name:"Engine.Step init/step/finish = Engine.run" ~count:40
+    QCheck.(
+      quad (int_range 0 1000) (int_range 30 300)
+        (int_range 0 (Array.length policy_pool - 1))
+        (pair (int_range 1 32) bool))
+    (fun (seed, length, pi, (k, flush)) ->
+      let trace = make_trace ~seed ~length in
+      let costs = costs_of ~beta:2.0 in
+      let policy = policy_pool.(pi) in
+      let st = Engine.Step.init ~flush ~k ~costs policy trace in
+      for pos = 0 to Engine.Step.length st - 1 do
+        Engine.Step.step st pos
+      done;
+      Engine.Step.finish st = Engine.run ~flush ~k ~costs policy trace)
+
+let run_cells_obeys_switches () =
+  let trace = make_trace ~seed:7 ~length:200 in
+  let cells = cells_over trace [ (0, 8, false); (5, 8, false); (3, 16, true) ] in
+  let expected = List.map solo cells in
+  checkb "fused on" true (Sweep.run_cells cells = expected);
+  checkb "per-call opt-out" true (Sweep.run_cells ~fuse:false cells = expected);
+  Sweep.set_fused false;
+  Fun.protect
+    ~finally:(fun () -> Sweep.set_fused true)
+    (fun () ->
+      checkb "still enabled default" false (Sweep.fused_enabled ());
+      checkb "global opt-out" true (Sweep.run_cells cells = expected));
+  checkb "switch restored" true (Sweep.fused_enabled ())
+
+let test_group_indices () =
+  let t1 = make_trace ~seed:1 ~length:60 in
+  let t2 = make_trace ~seed:2 ~length:60 in
+  let cell t = Sweep.cell ~k:4 ~costs:(costs_of ~beta:2.0) policy_pool.(0) t in
+  checki "empty" 0 (List.length (Sweep.group_indices []));
+  checkb "all shared" true
+    (Sweep.group_indices [ cell t1; cell t1; cell t1 ] = [ [ 0; 1; 2 ] ]);
+  checkb "first-touch order, ascending within" true
+    (Sweep.group_indices [ cell t1; cell t2; cell t1; cell t2 ]
+    = [ [ 0; 2 ]; [ 1; 3 ] ]);
+  (* value-equal but physically distinct traces must not fuse *)
+  let t1' = make_trace ~seed:1 ~length:60 in
+  checkb "physical identity only" true
+    (Sweep.group_indices [ cell t1; cell t1' ] = [ [ 0 ]; [ 1 ] ])
+
+let test_rows () =
+  checkb "rows splits row-major" true
+    (Sweep.rows ~width:2 [ 1; 2; 3; 4; 5; 6 ] = [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ]);
+  checkb "empty" true (Sweep.rows ~width:3 [] = []);
+  (match Sweep.rows ~width:0 [ 1 ] with
+  | _ -> Alcotest.fail "width 0 must raise"
+  | exception Invalid_argument _ -> ());
+  match Sweep.rows ~width:2 [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "ragged input must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --------------------------------------------------------------- *)
+(* Serial ?chunk determinism (Domain_pool.map_list)                 *)
+(* --------------------------------------------------------------- *)
+
+let serial_chunk_matches_map =
+  QCheck.Test.make ~name:"map_list without a pool honours ?chunk" ~count:50
+    QCheck.(pair (int_range 1 9) (list small_int))
+    (fun (chunk, xs) ->
+      let f x = (x * 3) + 1 in
+      Pool.map_list ~chunk ~f xs = List.map f xs)
+
+let serial_chunk_order () =
+  (* blocks are walked in input order: the visit sequence is exactly
+     the input sequence at every grain *)
+  let xs = List.init 23 Fun.id in
+  List.iter
+    (fun chunk ->
+      let seen = ref [] in
+      ignore
+        (Pool.map_list ~chunk ~f:(fun x -> seen := x :: !seen) xs);
+      checkb
+        (Printf.sprintf "chunk %d visits in order" chunk)
+        true
+        (List.rev !seen = xs))
+    [ 1; 2; 5; 23; 100 ]
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "ccache_fused"
+    [
+      ( "equivalence",
+        qsuite
+          [
+            fused_matches_solo;
+            fused_matches_solo_distinct_traces;
+            fused_matches_solo_pooled;
+            step_matches_run;
+          ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "group_indices" `Quick test_group_indices;
+          Alcotest.test_case "rows" `Quick test_rows;
+          Alcotest.test_case "switches" `Quick run_cells_obeys_switches;
+        ] );
+      ( "serial chunking",
+        Alcotest.test_case "visit order" `Quick serial_chunk_order
+        :: qsuite [ serial_chunk_matches_map ] );
+    ]
