@@ -30,6 +30,7 @@ let registry : t list ref = ref []
 let registry_mutex = Mutex.create ()
 let register e =
   Mutex.protect registry_mutex (fun () -> registry := e :: !registry)
+  [@@effects.forgive "gwrite"]
 let all () = List.rev (Mutex.protect registry_mutex (fun () -> !registry))
 let find id = List.find_opt (fun e -> e.id = id) (all ())
 

@@ -68,6 +68,47 @@ let make ?(mode = Cf.Discrete) () =
         let raw = target +. Float.Array.get y_off 0 -. u_off.(s) in
         Heap.set per_user.(s) ~key:(Page.id page) ~prio:raw;
         sync_top s
+        [@@effects.no_alloc] [@@effects.deterministic]
+      in
+      (* Named (rather than inlined into the record) so the static
+         analyzer has a node to pin the hot-path contracts on. *)
+      let evict ~pos victim =
+        let u = Page.user victim in
+        let s = slot u in
+        let raw = Heap.priority per_user.(s) (Page.id victim) in
+        let delta = raw -. Float.Array.get y_off 0 +. u_off.(s) in
+        Heap.remove per_user.(s) (Page.id victim);
+        let bump = rate u ~offset:2 -. rate u ~offset:1 in
+        m.(s) <- m.(s) + 1;
+        Float.Array.set rate1 s (rate u ~offset:1);
+        Float.Array.set y_off 0 (Float.Array.get y_off 0 +. delta);
+        u_off.(s) <- u_off.(s) +. bump;
+        (* only the owner's top entry changes: every other user's
+           key [min raw + U] is untouched by Y *)
+        sync_top s;
+        if Ccache_obs.Control.enabled () then begin
+          (* Decision telemetry mirrors Alg_discrete.record_evict,
+             except the candidate set here is what the heaps
+             actually scanned: the top heap (one entry per user
+             with cached pages) — O(log k) work, not O(k). *)
+          let module M = Ccache_obs.Metrics in
+          M.incr (name ^ "/evictions");
+          M.observe (name ^ "/charge") delta;
+          M.observe (name ^ "/charge/user" ^ string_of_int u) delta;
+          M.observe ~bounds:Alg_discrete.candidate_bounds
+            (name ^ "/candidate-users")
+            (float_of_int (Heap.length top));
+          M.incr (name ^ "/owner-bumps");
+          Ccache_obs.Span.instant ~cat:"alg"
+            ~args:
+              [
+                ("pos", Ccache_obs.Sink.Int pos);
+                ("owner", Ccache_obs.Sink.Int u);
+                ("charge", Ccache_obs.Sink.Float delta);
+              ]
+            (name ^ "/evict")
+        end
+        [@@effects.no_alloc] [@@effects.deterministic]
       in
       {
         Policy.on_hit = (fun ~pos:_ page -> touch page);
@@ -80,43 +121,7 @@ let make ?(mode = Cf.Discrete) () =
                holds dummy pages whose user id is exactly n_users) *)
             Page.make ~user:s ~id:pid);
         on_insert = (fun ~pos:_ page -> touch page);
-        on_evict =
-          (fun ~pos victim ->
-            let u = Page.user victim in
-            let s = slot u in
-            let raw = Heap.priority per_user.(s) (Page.id victim) in
-            let delta = raw -. Float.Array.get y_off 0 +. u_off.(s) in
-            Heap.remove per_user.(s) (Page.id victim);
-            let bump = rate u ~offset:2 -. rate u ~offset:1 in
-            m.(s) <- m.(s) + 1;
-            Float.Array.set rate1 s (rate u ~offset:1);
-            Float.Array.set y_off 0 (Float.Array.get y_off 0 +. delta);
-            u_off.(s) <- u_off.(s) +. bump;
-            (* only the owner's top entry changes: every other user's
-               key [min raw + U] is untouched by Y *)
-            sync_top s;
-            if Ccache_obs.Control.enabled () then begin
-              (* Decision telemetry mirrors Alg_discrete.record_evict,
-                 except the candidate set here is what the heaps
-                 actually scanned: the top heap (one entry per user
-                 with cached pages) — O(log k) work, not O(k). *)
-              let module M = Ccache_obs.Metrics in
-              M.incr (name ^ "/evictions");
-              M.observe (name ^ "/charge") delta;
-              M.observe (name ^ "/charge/user" ^ string_of_int u) delta;
-              M.observe ~bounds:Alg_discrete.candidate_bounds
-                (name ^ "/candidate-users")
-                (float_of_int (Heap.length top));
-              M.incr (name ^ "/owner-bumps");
-              Ccache_obs.Span.instant ~cat:"alg"
-                ~args:
-                  [
-                    ("pos", Ccache_obs.Sink.Int pos);
-                    ("owner", Ccache_obs.Sink.Int u);
-                    ("charge", Ccache_obs.Sink.Float delta);
-                  ]
-                (name ^ "/evict")
-            end);
+        on_evict = evict;
       })
 
 let policy = make ()

@@ -35,18 +35,20 @@ let is_convex segs =
   done;
   !ok
 
+(* invariant: breakpoint(lo) <= x, breakpoint(hi) > x or hi = n.
+   Toplevel rather than a local closure: [segment_index] sits on the
+   eviction hot path of SLA cost functions, and a local [bsearch]
+   capturing [segs] and [x] costs a closure allocation per call. *)
+let rec bsearch segs x lo hi =
+  if hi - lo <= 1 then lo
+  else
+    let mid = (lo + hi) / 2 in
+    let bx, _ = segs.(mid) in
+    if bx <= x then bsearch segs x mid hi else bsearch segs x lo mid
+
 (* Index of the segment containing x: greatest i with breakpoint_i <= x. *)
-let segment_index segs x =
-  let n = Array.length segs in
-  let rec bsearch lo hi =
-    (* invariant: breakpoint(lo) <= x, breakpoint(hi) > x or hi = n *)
-    if hi - lo <= 1 then lo
-    else
-      let mid = (lo + hi) / 2 in
-      let bx, _ = segs.(mid) in
-      if bx <= x then bsearch mid hi else bsearch lo mid
-  in
-  bsearch 0 n
+let segment_index segs x = bsearch segs x 0 (Array.length segs)
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let eval segs x =
   if x < 0.0 then invalid_arg "Piecewise.eval: negative x";

@@ -52,7 +52,11 @@ let miss_ratio r =
 
 exception Policy_error of string
 
-let policy_error fmt = Printf.ksprintf (fun s -> raise (Policy_error s)) fmt
+(* [@@effects.cold]: an unconditional raise, so the message formatting
+   never allocates on a path that returns — callers keep their
+   [no_alloc] contracts. *)
+let[@effects.cold] policy_error fmt =
+  Printf.ksprintf (fun s -> raise (Policy_error s)) fmt
 
 (** Run [policy] on [trace] with cache size [k] and per-user [costs].
 
@@ -145,14 +149,18 @@ module Step = struct
   let occupancy t = Ccache_util.Int_tbl.length t.cached
 
   (* Event records are built inside the [Some] branches only, so runs
-     without a listener allocate nothing per decision. *)
+     without a listener allocate nothing per decision; the
+     [@effects.allow "alloc"] masks scope that exemption to exactly
+     those branches. *)
   let step t pos =
     let page = Trace.request t.trace pos in
     let h = t.h in
     if is_cached t page then begin
       t.hits <- t.hits + 1;
       h.Policy.on_hit ~pos page;
-      match t.on_event with Some f -> f (Hit { pos; page }) | None -> ()
+      match t.on_event with
+      | Some f -> (f (Hit { pos; page }) [@effects.allow "alloc"])
+      | None -> ()
     end
     else begin
       t.misses_per_user.(Page.user page) <-
@@ -174,20 +182,21 @@ module Step = struct
         cache_add t page;
         h.Policy.on_insert ~pos page;
         match t.on_event with
-        | Some f -> f (Miss_evict { pos; page; victim })
+        | Some f -> (f (Miss_evict { pos; page; victim }) [@effects.allow "alloc"])
         | None -> ()
       end
       else begin
         cache_add t page;
         h.Policy.on_insert ~pos page;
         match t.on_event with
-        | Some f -> f (Miss_insert { pos; page })
+        | Some f -> (f (Miss_insert { pos; page }) [@effects.allow "alloc"])
         | None -> ()
       end;
       if occupancy t > t.k then
         policy_error "%s: cache exceeded k=%d (pos %d)" (Policy.name t.policy)
           t.k pos
     end
+    [@@effects.no_alloc] [@@effects.deterministic]
 
   (* Terminal flush: the dummy user's k requests evict every remaining
      real page; dummy pages are pinned so they are never inserted. *)

@@ -33,19 +33,23 @@ let make ~user ~id =
   if user > max_user then invalid_arg "Page.make: user exceeds 2^24 - 1";
   if id > max_id then invalid_arg "Page.make: id exceeds 2^38 - 1";
   (user lsl id_bits) lor id
+  [@@effects.pure] [@@effects.no_alloc]
 
-let user t = t lsr id_bits
-let id t = t land max_id
+let user t = t lsr id_bits [@@effects.pure] [@@effects.no_alloc]
+let id t = t land max_id [@@effects.pure] [@@effects.no_alloc]
 
-let pack t = t
+let pack t = t [@@effects.pure] [@@effects.no_alloc]
 
 let unpack i =
   if i < 0 || i lsr id_bits > max_user then
     invalid_arg "Page.unpack: not a packed page";
   i
+  [@@effects.pure] [@@effects.no_alloc]
 
 let compare (a : t) (b : t) = Int.compare a b
-let equal (a : t) (b : t) = a = b
+  [@@effects.pure] [@@effects.no_alloc]
+
+let equal (a : t) (b : t) = a = b [@@effects.pure] [@@effects.no_alloc]
 
 (* Same value the unpacked-record representation hashed to, so every
    [Page.Tbl] keeps its historical bucket layout (and with it the

@@ -81,13 +81,17 @@ let[@inline] probe t key =
 let mem t key =
   check_key key;
   t.tkeys.(probe t key) = key
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 (* Heap slot of [key], or -1. *)
 let[@inline] slot_of t key =
   let i = probe t key in
   if Array.unsafe_get t.tkeys i = key then Array.unsafe_get t.tvals i else -1
 
-let tbl_grow t =
+(* Amortised-doubling growth: the one allocation site of the steady
+   state, forgiven to callers under [@@effects.amortized_alloc] (the
+   contract the Gc byte-budget test measures dynamically). *)
+let[@effects.amortized_alloc] tbl_grow t =
   let old_keys = t.tkeys and old_vals = t.tvals in
   let cap = 2 * Array.length old_keys in
   t.tkeys <- Array.make cap empty;
@@ -225,7 +229,7 @@ let sift_down t i =
   done;
   place t !i key prio ti
 
-let heap_grow t =
+let[@effects.amortized_alloc] heap_grow t =
   let cap = Array.length t.keys in
   let keys = Array.make (2 * cap) empty in
   Array.blit t.keys 0 keys 0 t.size;
@@ -260,6 +264,7 @@ let add t ~key ~prio =
   t.tpos.(i) <- ti;
   t.tvals.(ti) <- i;
   sift_up t i
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let[@inline] find_slot t key =
   check_key key;
@@ -267,16 +272,19 @@ let[@inline] find_slot t key =
 
 (** Current priority of [key]. Raises [Not_found] if absent. *)
 let priority t key = Float.Array.get t.prios (find_slot t key)
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 (** Minimum key / priority without removing it; allocation-free, for
     the eviction hot path. *)
 let min_key_exn t =
   if t.size = 0 then invalid_arg "Indexed_heap.min_key_exn: empty heap";
   Array.unsafe_get t.keys 0
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let min_prio_exn t =
   if t.size = 0 then invalid_arg "Indexed_heap.min_prio_exn: empty heap";
   Float.Array.unsafe_get t.prios 0
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 (** Minimum entry without removing it. *)
 let peek t =
@@ -318,6 +326,7 @@ let pop_exn t =
 
 (** Remove an arbitrary key. Raises [Not_found] if absent. *)
 let remove t key = remove_slot t (find_slot t key)
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 (* Directional re-prioritisation: a raised priority can only need to
    move down, a lowered one only up, an unchanged one (the common case
@@ -337,6 +346,7 @@ let[@inline] reprioritize t i prio =
 
 (** Set the priority of an existing key (increase or decrease). *)
 let update t ~key ~prio = reprioritize t (find_slot t key) prio
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 (** Insert or update. *)
 let set t ~key ~prio =
@@ -344,6 +354,7 @@ let set t ~key ~prio =
   match slot_of t key with
   | -1 -> add t ~key ~prio
   | i -> reprioritize t i prio
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let iter f t =
   for i = 0 to t.size - 1 do

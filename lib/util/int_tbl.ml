@@ -64,18 +64,23 @@ let probe t key =
 let mem t key =
   check_key key;
   t.keys.(probe t key) = key
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let find_default t key ~default =
   check_key key;
   let i = probe t key in
   if t.keys.(i) = key then t.vals.(i) else default
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let find_exn t key =
   check_key key;
   let i = probe t key in
   if t.keys.(i) = key then t.vals.(i) else raise Not_found
+  [@@effects.no_alloc] [@@effects.deterministic]
 
-let grow t =
+(* Amortised-doubling growth: the one allocation site after [create],
+   forgiven to callers under [@@effects.amortized_alloc]. *)
+let[@effects.amortized_alloc] grow t =
   let old_keys = t.keys and old_vals = t.vals in
   let cap = 2 * Array.length old_keys in
   t.keys <- Array.make cap empty_key;
@@ -101,6 +106,7 @@ let set t key value =
     (* max load factor 1/2: probe runs stay short in the worst case *)
     if 2 * t.size > t.mask then grow t
   end
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 (* Backward-shift deletion: after clearing slot [i], walk the probe run
    that follows and move back every entry whose home slot is outside
@@ -147,6 +153,7 @@ let remove t key =
     true
   end
   else false
+  [@@effects.no_alloc] [@@effects.deterministic]
 
 let iter f t =
   for i = 0 to Array.length t.keys - 1 do

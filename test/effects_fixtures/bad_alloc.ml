@@ -1,0 +1,2 @@
+(* Violates [no_alloc]: builds a tuple per call. *)
+let pair x = (x, x) [@@effects.no_alloc]

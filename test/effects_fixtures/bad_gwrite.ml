@@ -1,0 +1,3 @@
+(* Violates [pure]: writes module-level mutable state. *)
+let counter = ref 0
+let bump () = counter := !counter + 1 [@@effects.pure]

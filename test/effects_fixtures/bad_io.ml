@@ -1,0 +1,2 @@
+(* Violates [pure]: writes to stdout. *)
+let shout () = print_string "boo" [@@effects.pure]

@@ -1,0 +1,22 @@
+(* Both pool-task rules: [go]'s closure writes module-level state from
+   worker domains; [go_captured]'s closure mutates a ref captured from
+   the enclosing scope. *)
+let total = ref 0
+
+let go xs =
+  Ccache_util.Domain_pool.map_list
+    ~f:(fun x ->
+      total := !total + x;
+      x)
+    xs
+
+let go_captured xs =
+  let acc = ref 0 in
+  let _ =
+    Ccache_util.Domain_pool.map_list
+      ~f:(fun x ->
+        acc := !acc + x;
+        x)
+      xs
+  in
+  !acc

@@ -1,0 +1,2 @@
+(* Violates [pure]: ambient randomness. *)
+let roll () = Random.int 6 [@@effects.pure]

@@ -1,0 +1,3 @@
+(* Violates [deterministic]: spawning a domain makes scheduling part of
+   the result. *)
+let fire f = Domain.join (Domain.spawn f) [@@effects.deterministic]

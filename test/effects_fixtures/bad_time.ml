@@ -1,0 +1,3 @@
+(* Violates [deterministic] (reads the clock) and, because the [time]
+   seed is outside the sanctioned Clock.wall sink, also [direct-clock]. *)
+let stamp () = Unix.gettimeofday () [@@effects.deterministic]

@@ -1,0 +1,2 @@
+(* Immediate-int arithmetic allocates nothing. *)
+let add x y = x + y [@@effects.no_alloc] [@@effects.pure]

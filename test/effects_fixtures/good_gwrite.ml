@@ -1,0 +1,9 @@
+(* A non-escaping local ref is the repo's standard loop idiom: ocamlopt
+   unboxes it, so the node stays pure and allocation-free. *)
+let sum n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  !acc
+  [@@effects.pure] [@@effects.no_alloc]

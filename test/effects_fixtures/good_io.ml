@@ -1,0 +1,2 @@
+(* Returning the string instead of printing it keeps the node pure. *)
+let render () = "boo" [@@effects.pure]

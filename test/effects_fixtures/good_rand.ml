@@ -1,0 +1,3 @@
+(* A seeded step function is pure: same state, same draw. *)
+let roll state = (state * 0x2545F4914F6CDD1D) + 0x9E3779B9
+  [@@effects.pure] [@@effects.no_alloc]

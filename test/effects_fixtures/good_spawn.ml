@@ -1,0 +1,3 @@
+(* Running the thunk on the calling domain is just a higher-order
+   call. *)
+let fire f = f () [@@effects.deterministic]

@@ -1,0 +1,3 @@
+(* Deterministic the sanctioned way: the clock arrives as an explicit
+   capability, so the node itself only performs a higher-order call. *)
+let stamp (now : unit -> float) = now () [@@effects.deterministic]

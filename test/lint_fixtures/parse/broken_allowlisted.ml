@@ -1,0 +1,4 @@
+(* Deliberately unparseable: exercises the parse-error rule and its
+   interaction with the allowlist (the fixture allowlist silences it;
+   running without the allowlist must surface it again). *)
+let oops = (

@@ -64,20 +64,35 @@ let test_clean_tree_passes () =
   checki "clean dir exits 0" 0 code;
   check_strings "no output on a clean tree" [] lines
 
+let starts_with prefix l =
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let test_suppressions_required () =
-  (* Without the allowlist the allowlisted fixture's finding reappears;
-     the inline/floating suppressions must still hold. *)
+  (* Without the allowlist both allowlisted fixtures' findings
+     reappear — including the parse-error one, which goes through
+     suppression like any other rule; the inline/floating suppressions
+     must still hold. *)
   let code, lines = lint "lint_fixtures" in
   checki "still non-zero" 1 code;
-  checki "exactly one extra finding vs golden" (List.length golden + 1)
+  checki "exactly two extra findings vs golden" (List.length golden + 2)
     (List.length lines);
   Alcotest.(check bool)
     "extra finding is the allowlisted one" true
     (List.exists
+       (starts_with "lint_fixtures/lib/allowlisted_random.ml")
+       lines);
+  Alcotest.(check bool)
+    "parse-error resurfaces without the allowlist" true
+    (List.exists
        (fun l ->
-         String.length l > 0
-         && String.sub l 0 (String.length "lint_fixtures/lib/allowlisted_random.ml")
-            = "lint_fixtures/lib/allowlisted_random.ml")
+         starts_with "lint_fixtures/parse/broken_allowlisted.ml" l
+         && contains_sub l "[parse-error]")
        lines)
 
 let test_github_format () =
@@ -93,9 +108,102 @@ let test_github_format () =
         (String.length l > 13 && String.sub l 0 13 = "::error file="))
     lines
 
+let test_sarif_format () =
+  let code, lines =
+    lint "--format=sarif --allowlist lint_fixtures/allowlist.txt lint_fixtures"
+  in
+  checki "exit code unchanged by format" 1 code;
+  let doc = String.concat "\n" lines in
+  Alcotest.(check bool)
+    "declares SARIF 2.1.0" true
+    (contains_sub doc "\"version\": \"2.1.0\"");
+  Alcotest.(check bool)
+    "driver is ccache_lint" true
+    (contains_sub doc "\"name\": \"ccache_lint\"");
+  (* same findings as the text golden: one result object per line *)
+  checki "one result per golden finding" (List.length golden)
+    (List.length
+       (List.filter (fun l -> contains_sub l "\"ruleId\":") lines));
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule ^ " has driver metadata") true
+        (contains_sub doc ("{\"id\": \"" ^ rule ^ "\"")))
+    [ "domain-capture"; "parse-error"; "no-wall-clock" ]
+
+(* A path that cannot be read (here: a dangling symlink inside the
+   scanned tree) must produce a one-line diagnostic and a non-zero
+   exit, never an uncaught exception. *)
+let test_unreadable_path () =
+  let dir = Filename.temp_file "ccache_lint_dangling" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Unix.symlink (Filename.concat dir "nowhere") (Filename.concat dir "gone.ml");
+  let err = Filename.temp_file "ccache_lint_test" ".err" in
+  let code =
+    Sys.command
+      (Filename.quote exe ^ " " ^ Filename.quote dir ^ " > /dev/null 2> "
+     ^ Filename.quote err)
+  in
+  let ic = open_in err in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove err;
+  Sys.remove (Filename.concat dir "gone.ml");
+  Unix.rmdir dir;
+  checki "usage-style exit" 2 code;
+  Alcotest.(check bool)
+    "one clean ccache_lint diagnostic" true
+    (match !lines with
+    | [ l ] -> starts_with "ccache_lint:" l
+    | _ -> false)
+
+(* --cmt-root promotes domain-capture to the call-graph analysis: the
+   transitive global write in bad_pool_transitive.ml (invisible to the
+   parsetree heuristic — its closure contains no assignment) is
+   caught, and covered files use the typed verdict. *)
+let test_typed_domain_capture () =
+  (* run from the build root so scanned paths match the build-relative
+     source names recorded in the .cmt files *)
+  let prefix = "cd .. && " in
+  let cmd args = run_capture (prefix ^ "tools/lint/ccache_lint.exe " ^ args) in
+  let code_h, lines_h = cmd "test/effects_fixtures" in
+  checki "heuristic run exits 1 (direct captures)" 1 code_h;
+  Alcotest.(check bool)
+    "heuristic is blind to the transitive write" false
+    (List.exists (fun l -> contains_sub l "bad_pool_transitive") lines_h);
+  let code_t, lines_t =
+    cmd "--cmt-root test/effects_fixtures test/effects_fixtures"
+  in
+  checki "typed run exits 1" 1 code_t;
+  Alcotest.(check bool)
+    "typed mode catches the transitive write" true
+    (List.exists
+       (fun l ->
+         contains_sub l "bad_pool_transitive.ml"
+         && contains_sub l "[domain-capture]"
+         && contains_sub l "call-graph analysis")
+       lines_t);
+  Alcotest.(check bool)
+    "typed mode still reports the captured-ref mutation" true
+    (List.exists
+       (fun l ->
+         contains_sub l "bad_pool.ml"
+         && contains_sub l "[domain-capture]"
+         && contains_sub l "captured from the enclosing scope")
+       lines_t);
+  Alcotest.(check bool)
+    "clean pool usage stays clean" false
+    (List.exists (fun l -> contains_sub l "good_pool") lines_t)
+
 let test_list_rules () =
   let code, lines = lint "--list-rules" in
-  checki "list-rules exits 0" 0 code;
+  checki "list-rules exits 0 without PATH" 0 code;
   List.iter
     (fun rule ->
       Alcotest.(check bool)
@@ -123,6 +231,13 @@ let () =
       ( "formats",
         [
           Alcotest.test_case "github annotations" `Quick test_github_format;
+          Alcotest.test_case "sarif log" `Quick test_sarif_format;
           Alcotest.test_case "list-rules" `Quick test_list_rules;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "unreadable path" `Quick test_unreadable_path;
+          Alcotest.test_case "typed domain-capture" `Quick
+            test_typed_domain_capture;
         ] );
     ]

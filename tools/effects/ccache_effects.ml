@@ -1,0 +1,131 @@
+(* Driver for the cross-module effect analysis.
+
+   Reads the .cmt artifacts dune already produced under the given
+   roots, runs the fixpoint, checks the hot-path contracts, and
+   optionally writes the EFFECTS.json inventory.
+
+   Exit codes: 0 clean, 1 contract findings, 2 usage/load error. *)
+
+let usage =
+  "ccache_effects --root DIR [options]\n\
+   Typed cross-module effect & allocation analysis over dune's .cmt \
+   artifacts.\n\n\
+   \  --root DIR          scan DIR recursively for .cmt files (repeatable)\n\
+   \  --json FILE         write the EFFECTS.json inventory to FILE\n\
+   \  --format FMT        finding output: text (default), github, sarif\n\
+   \  --inject SRC=CALLEE add a synthetic call edge before the fixpoint\n\
+   \                      (mutation-testing hook)\n\
+   \  --no-check          skip contract checking (inventory only)\n\
+   \  --no-required       skip the required hot-path contract table\n\
+   \                      (for analysing trees other than lib/)\n\
+   \  --list-nodes        print every node id with its effect set\n\
+   \  --list-externs      print unclassified extern paths the scan met\n\
+   \  --help              this message\n"
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("ccache_effects: " ^ s);
+      exit 2)
+    fmt
+
+type format = Text | Github | Sarif
+
+let () =
+  let roots = ref [] in
+  let json_out = ref None in
+  let format = ref Text in
+  let inject = ref [] in
+  let no_check = ref false in
+  let no_required = ref false in
+  let list_nodes = ref false in
+  let list_externs = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+        roots := dir :: !roots;
+        parse rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse rest
+    | "--format" :: fmt :: rest ->
+        (format :=
+           match fmt with
+           | "text" -> Text
+           | "github" -> Github
+           | "sarif" -> Sarif
+           | other -> fail "unknown format %S (text|github|sarif)" other);
+        parse rest
+    | "--inject" :: spec :: rest ->
+        (match String.index_opt spec '=' with
+        | Some i ->
+            inject :=
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+              :: !inject
+        | None -> fail "--inject expects SRC=CALLEE, got %S" spec);
+        parse rest
+    | "--no-check" :: rest ->
+        no_check := true;
+        parse rest
+    | "--no-required" :: rest ->
+        no_required := true;
+        parse rest
+    | "--list-nodes" :: rest ->
+        list_nodes := true;
+        parse rest
+    | "--list-externs" :: rest ->
+        list_externs := true;
+        parse rest
+    | ("--help" | "-help") :: _ ->
+        print_string usage;
+        exit 0
+    | arg :: _ -> fail "unknown argument %S (try --help)" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = List.rev !roots in
+  if roots = [] then fail "no --root given (try --help)";
+  List.iter
+    (fun r -> if not (Sys.file_exists r) then fail "root %s does not exist" r)
+    roots;
+  let t =
+    try Effects_pipeline.analyze ~inject:(List.rev !inject) ~roots ()
+    with e -> fail "analysis failed: %s" (Printexc.to_string e)
+  in
+  if Hashtbl.length t.defs = 0 then
+    fail "no .cmt implementation units under %s (build the library first?)"
+      (String.concat ", " roots);
+  if !list_nodes then
+    List.iter
+      (fun id ->
+        Printf.printf "%s: %s\n" id
+          (Effect_set.to_string (Effects_graph.effects t.result id)))
+      (Hashtbl.fold (fun id _ l -> id :: l) t.defs []
+      |> List.sort String.compare);
+  if !list_externs then
+    List.iter print_endline (Effects_seed.unknown_externs ());
+  (match !json_out with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Effects_json.emit t);
+      close_out oc
+  | None -> ());
+  if !no_check then exit 0;
+  let findings =
+    Effects_pipeline.check ~check_required:(not !no_required) t
+  in
+  (match !format with
+  | Text -> List.iter (fun f -> print_endline (Tool_report.to_text f)) findings
+  | Github ->
+      List.iter
+        (fun f -> print_endline (Tool_report.to_github ~tool:"ccache_effects" f))
+        findings
+  | Sarif ->
+      print_string
+        (Tool_report.sarif ~tool:"ccache_effects" ~version:"1.0"
+           ~rules:Effects_contract.rules findings));
+  if findings <> [] then begin
+    Printf.eprintf "ccache_effects: %d contract finding(s)\n"
+      (List.length findings);
+    exit 1
+  end

@@ -1,0 +1,62 @@
+(** Discovery and loading of [.cmt] artifacts.
+
+    Dune emits a [.cmt] next to every compiled module under
+    [<dir>/.<lib>.objs/byte/]; we scan the given roots for them,
+    decode with [Cmt_format.read_cmt] (same compiler that produced
+    them, so no magic-number drift), and keep implementation units
+    with a source file.  Dune-generated library alias modules
+    ([*.ml-gen]) carry no code of their own and are skipped.
+
+    Module names canonicalise the wrapped-library mangling:
+    [Ccache_core__Alg_fast] → [Ccache_core.Alg_fast], which is exactly
+    the path form the use sites record (after local-alias expansion),
+    so definition and reference keys line up. *)
+
+type unit_ = {
+  modname : string;  (** canonical, e.g. ["Ccache_core.Alg_fast"] *)
+  source : string;  (** compiler-recorded source path, build-root-relative *)
+  structure : Typedtree.structure;
+}
+
+(** [Lib__Module] → [Lib.Module]; leaves single underscores alone. *)
+let canonical_modname m =
+  let b = Buffer.create (String.length m) in
+  let n = String.length m in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && m.[!i] = '_' && m.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b m.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let rec find_cmts acc path =
+  if not (Sys.file_exists path) then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc name -> find_cmts acc (Filename.concat path name)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let load_file path : unit_ option =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt -> (
+      match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+      | Cmt_format.Implementation structure, Some source
+        when not (Filename.check_suffix source ".ml-gen") ->
+          Some { modname = canonical_modname cmt.cmt_modname; source; structure }
+      | _ -> None)
+
+(** All implementation units under [roots], sorted by canonical module
+    name so every downstream artifact is deterministic. *)
+let load_roots roots : unit_ list =
+  List.fold_left find_cmts [] roots
+  |> List.sort String.compare
+  |> List.filter_map load_file
+  |> List.sort (fun a b -> String.compare a.modname b.modname)

@@ -1,0 +1,92 @@
+(** The effect lattice: a finite powerset of primitive effect classes,
+    represented as a bitmask so joins are [lor] and the fixpoint's
+    monotonicity is immediate.
+
+    Classes (see DESIGN.md §12 for the full semantics):
+    - [Time]   — wall-clock reads ([Unix.gettimeofday], [Sys.time], …)
+    - [Rand]   — stdlib [Random] state (breaks seeded determinism)
+    - [Io]     — prints, channels, file descriptors, sleeps
+    - [Gwrite] — unsynchronised writes to module-level mutable state
+      (toplevel refs, arrays, hashtables; [Atomic] is exempt — it is
+      the sanctioned synchronisation primitive)
+    - [Spawn]  — creating domains or threads
+    - [Alloc]  — heap allocation (boxed constructions, closures, or
+      calls into allocating stdlib entry points)
+    - [Hocall] — a call through an opaque function value (parameter,
+      record field, …) that the call graph cannot resolve; recorded so
+      a reader knows the set is a lower bound there *)
+
+type cls = Time | Rand | Io | Gwrite | Spawn | Alloc | Hocall
+
+type t = int
+
+let all_classes = [ Time; Rand; Io; Gwrite; Spawn; Alloc; Hocall ]
+
+let bit = function
+  | Time -> 1
+  | Rand -> 2
+  | Io -> 4
+  | Gwrite -> 8
+  | Spawn -> 16
+  | Alloc -> 32
+  | Hocall -> 64
+
+let name = function
+  | Time -> "time"
+  | Rand -> "rand"
+  | Io -> "io"
+  | Gwrite -> "gwrite"
+  | Spawn -> "spawn"
+  | Alloc -> "alloc"
+  | Hocall -> "hocall"
+
+let of_name = function
+  | "time" -> Some Time
+  | "rand" -> Some Rand
+  | "io" -> Some Io
+  | "gwrite" -> Some Gwrite
+  | "spawn" -> Some Spawn
+  | "alloc" -> Some Alloc
+  | "hocall" -> Some Hocall
+  | _ -> None
+
+let empty = 0
+let all = List.fold_left (fun acc c -> acc lor bit c) 0 all_classes
+let is_empty s = s = 0
+let singleton c = bit c
+let add s c = s lor bit c
+let mem s c = s land bit c <> 0
+let union a b = a lor b
+let diff a b = a land lnot b
+let inter a b = a land b
+let subset a b = a land lnot b = 0
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+
+let of_list = List.fold_left add empty
+
+let to_list s = List.filter (mem s) all_classes
+
+(** ["time+alloc"]; the empty set prints as ["-"]. *)
+let to_string s =
+  match to_list s with
+  | [] -> "-"
+  | cs -> String.concat "+" (List.map name cs)
+
+(** Parse a [+]/[,]/space-separated class list; [Error] names the first
+    unknown class. *)
+let parse spec =
+  let parts =
+    String.split_on_char '+' spec
+    |> List.concat_map (String.split_on_char ',')
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | p :: rest -> (
+        match of_name p with
+        | Some c -> go (add acc c) rest
+        | None -> Error p)
+  in
+  go empty parts

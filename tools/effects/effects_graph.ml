@@ -1,0 +1,128 @@
+(** Whole-library call graph and the monotone effect fixpoint.
+
+    A node is one analysed definition (toplevel or named local
+    function).  [seed] holds the effects its own body performs
+    directly; [calls] the canonical ids of everything it may invoke,
+    each with the mask active at that call site ([\[@effects.allow\]]
+    scopes, obs-gated branches, cold-call arguments).  Callees that are
+    not nodes are classified by the [extern] oracle (the seed table for
+    stdlib/unix leaves).
+
+    [forgiven] is the per-node caller-side mask: a node annotated
+    [\[@@effects.amortized_alloc\]] keeps [alloc] in its own outward
+    set but callers do not inherit it (growth paths of amortised
+    structures), and [\[@@effects.cold\]] masks [alloc]+[io] the same
+    way (unconditional error/raise paths).  Masking is applied on the
+    edge, so the fixpoint stays monotone in the edge set: adding a
+    call can only grow every reachable effect set (property-tested in
+    [test/test_effects.ml]). *)
+
+type node = {
+  id : string;
+  seed : Effect_set.t;
+  forgiven : Effect_set.t;  (** masked out of what callers inherit *)
+  calls : (string * Effect_set.t) list;  (** callee, per-edge mask *)
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  order : string list;  (** insertion order, for deterministic iteration *)
+}
+
+let create () = { nodes = Hashtbl.create 512; order = [] }
+
+let of_nodes nodes =
+  let t = Hashtbl.create (2 * List.length nodes + 1) in
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt t n.id with
+      | None -> Hashtbl.replace t n.id n
+      | Some prev ->
+          (* duplicate id (shadowed binding): join conservatively *)
+          Hashtbl.replace t n.id
+            {
+              prev with
+              seed = Effect_set.union prev.seed n.seed;
+              forgiven = Effect_set.inter prev.forgiven n.forgiven;
+              calls = prev.calls @ n.calls;
+            })
+    nodes;
+  { nodes = t; order = List.map (fun n -> n.id) nodes }
+
+let mem t id = Hashtbl.mem t.nodes id
+let find_opt t id = Hashtbl.find_opt t.nodes id
+
+let ids t =
+  List.sort_uniq String.compare (Hashtbl.fold (fun id _ l -> id :: l) t.nodes [])
+
+(** Add one call edge (the mutation hook used by [--inject] tests);
+    unknown [src] is created as a fresh effect-free node. *)
+let add_call t ~src ~callee =
+  let edge = (callee, Effect_set.empty) in
+  match Hashtbl.find_opt t.nodes src with
+  | Some n -> Hashtbl.replace t.nodes src { n with calls = edge :: n.calls }
+  | None ->
+      Hashtbl.replace t.nodes src
+        { id = src; seed = Effect_set.empty; forgiven = Effect_set.empty;
+          calls = [ edge ] }
+
+let add_seed t ~id cls =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> Hashtbl.replace t.nodes id { n with seed = Effect_set.add n.seed cls }
+  | None ->
+      Hashtbl.replace t.nodes id
+        { id; seed = Effect_set.singleton cls; forgiven = Effect_set.empty;
+          calls = [] }
+
+type result = {
+  outward : (string, Effect_set.t) Hashtbl.t;
+      (** full effect set of each node, pre-mask *)
+  rounds : int;  (** fixpoint iterations until stable (for reporting) *)
+}
+
+let effects r id =
+  Option.value (Hashtbl.find_opt r.outward id) ~default:Effect_set.empty
+
+(** What a caller of [id] inherits: outward effects minus the node's
+    forgiven mask; non-nodes fall back to the extern oracle. *)
+let visible t r ~extern id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> Effect_set.diff (effects r id) n.forgiven
+  | None -> extern id
+
+(** Iterate [out(n) = seed(n) ∪ ⋃ visible(callee)] to the least
+    fixpoint.  The lattice is a bounded powerset and the step function
+    is a join of monotone maps, so this terminates in at most
+    [|classes| · |nodes|] rounds; in practice a handful. *)
+let fixpoint ~extern t =
+  let out = Hashtbl.create (Hashtbl.length t.nodes * 2 + 1) in
+  Hashtbl.iter (fun id n -> Hashtbl.replace out id n.seed) t.nodes;
+  let visible_now id =
+    match Hashtbl.find_opt t.nodes id with
+    | Some n ->
+        Effect_set.diff
+          (Option.value (Hashtbl.find_opt out id) ~default:Effect_set.empty)
+          n.forgiven
+    | None -> extern id
+  in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr rounds;
+    Hashtbl.iter
+      (fun id n ->
+        let cur = Hashtbl.find out id in
+        let next =
+          List.fold_left
+            (fun acc (c, mask) ->
+              Effect_set.union acc (Effect_set.diff (visible_now c) mask))
+            cur n.calls
+        in
+        if not (Effect_set.equal next cur) then begin
+          Hashtbl.replace out id next;
+          changed := true
+        end)
+      t.nodes
+  done;
+  { outward = out; rounds = !rounds }

@@ -1,0 +1,61 @@
+(** The committed effect inventory (EFFECTS.json).
+
+    One line per analysed node, sorted by id, so a behavioural change
+    anywhere in the library shows up as a focused diff in review — the
+    same promotion workflow as the BENCH_*.json files.
+
+    The [alloc] field is a three-state verdict:
+    - ["none"]: no allocation reaches the node even with every
+      forgiveness mask stripped;
+    - ["amortized"]: allocation-free under the masks the contracts use
+      (amortised growth, cold error paths, obs-gated telemetry) but not
+      without them — i.e. the masks are load-bearing;
+    - ["allocates"]: allocation reaches the node on ordinary paths. *)
+
+let esc = Tool_report.json_escape
+
+let alloc_verdict masked raw =
+  if Effect_set.mem masked Effect_set.Alloc then "allocates"
+  else if Effect_set.mem raw Effect_set.Alloc then "amortized"
+  else "none"
+
+let emit (t : Effects_pipeline.t) : string =
+  let b = Buffer.create (64 * 1024) in
+  let add = Buffer.add_string b in
+  let ids =
+    Hashtbl.fold (fun id _ l -> id :: l) t.defs []
+    |> List.sort String.compare
+  in
+  add "{\n";
+  add "  \"version\": 1,\n";
+  Printf.ksprintf add "  \"modules\": %d,\n" (List.length t.mods);
+  Printf.ksprintf add "  \"functions\": %d,\n" (List.length ids);
+  Printf.ksprintf add "  \"fixpoint_rounds\": %d,\n"
+    t.result.Effects_graph.rounds;
+  Printf.ksprintf add "  \"pool_sites\": %d,\n" (List.length t.pool_sites);
+  add "  \"effects\": {\n";
+  let n = List.length ids in
+  List.iteri
+    (fun i id ->
+      let d = Hashtbl.find t.defs id in
+      let masked = Effects_graph.effects t.result id in
+      let raw = Effects_graph.effects t.raw id in
+      Printf.ksprintf add "    \"%s\": {\"effects\": \"%s\", \"alloc\": \"%s\""
+        (esc id)
+        (esc (Effect_set.to_string masked))
+        (alloc_verdict masked raw);
+      if d.Effects_defs.contracts <> [] then
+        Printf.ksprintf add ", \"contracts\": [%s]"
+          (String.concat ", "
+             (List.map
+                (fun c -> Printf.sprintf "\"%s\"" (Effects_defs.contract_name c))
+                d.Effects_defs.contracts));
+      if not (Effect_set.is_empty d.Effects_defs.forgiven) then
+        Printf.ksprintf add ", \"forgiven\": \"%s\""
+          (esc (Effect_set.to_string d.Effects_defs.forgiven));
+      Printf.ksprintf add "}%s\n" (if i = n - 1 then "" else ",");
+      ())
+    ids;
+  add "  }\n";
+  add "}\n";
+  Buffer.contents b

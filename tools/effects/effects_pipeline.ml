@@ -1,0 +1,96 @@
+(** End-to-end analysis: cmt discovery → definition collection → body
+    extraction → call graph → fixpoint (twice: once honouring every
+    mask, once with all masks stripped — the delta is what the
+    forgiveness annotations are hiding, reported as the "amortized"
+    verdict in EFFECTS.json). *)
+
+type t = {
+  mods : Effects_defs.modinfo list;
+  defs : (string, Effects_defs.def) Hashtbl.t;  (** node id → def *)
+  graph : Effects_graph.t;
+  result : Effects_graph.result;  (** masked (the contract semantics) *)
+  raw : Effects_graph.result;  (** every mask stripped *)
+  pool_sites : Effects_extract.pool_site list;
+}
+
+let extern = Effects_seed.classify
+
+(** [inject] adds synthetic call edges (["Src=Callee"] pairs) before
+    the fixpoint runs — the hook the seeded mutation test drives to
+    prove a smuggled clock read is caught. *)
+let analyze ?(inject = []) ~roots () : t =
+  let units = Cmt_load.load_roots roots in
+  let mods = List.map Effects_defs.collect units in
+  let defs = Hashtbl.create 512 in
+  List.iter
+    (fun (mi : Effects_defs.modinfo) ->
+      List.iter
+        (fun (d : Effects_defs.def) ->
+          if not (Hashtbl.mem defs d.id) then Hashtbl.replace defs d.id d)
+        mi.defs)
+    mods;
+  let node_forgiven id =
+    Option.map
+      (fun (d : Effects_defs.def) -> d.forgiven)
+      (Hashtbl.find_opt defs id)
+  in
+  let pool_sites = ref [] in
+  (* Plain values keep their (one-shot, module-init) effects in their
+     own outward set but charge none of it to readers: referencing a
+     toplevel table does not re-run its initialiser.  This masking is a
+     semantic correction, so (unlike the annotation masks) it survives
+     in the raw fixpoint below. *)
+  let pairs =
+    List.concat_map
+      (fun (mi : Effects_defs.modinfo) ->
+        List.map
+          (fun (d : Effects_defs.def) ->
+            let ex = Effects_extract.extract ~mi ~def:d ~node_forgiven in
+            pool_sites := ex.pool_sites @ !pool_sites;
+            ( d,
+              {
+                Effects_graph.id = d.id;
+                seed = ex.seed;
+                forgiven = (if d.arrow then d.forgiven else Effect_set.all);
+                calls = ex.calls;
+              } ))
+          mi.defs)
+      mods
+  in
+  let nodes = List.map snd pairs in
+  let graph = Effects_graph.of_nodes nodes in
+  List.iter
+    (fun (src, callee) -> Effects_graph.add_call graph ~src ~callee)
+    inject;
+  let result = Effects_graph.fixpoint ~extern graph in
+  let raw =
+    (* annotation masks stripped; value masking retained *)
+    let stripped =
+      Effects_graph.of_nodes
+        (List.map
+           (fun ((d : Effects_defs.def), (n : Effects_graph.node)) ->
+             {
+               n with
+               forgiven =
+                 (if d.arrow then Effect_set.empty else Effect_set.all);
+               calls = List.map (fun (c, _) -> (c, Effect_set.empty)) n.calls;
+             })
+           pairs)
+    in
+    List.iter
+      (fun (src, callee) -> Effects_graph.add_call stripped ~src ~callee)
+      inject;
+    Effects_graph.fixpoint ~extern stripped
+  in
+  {
+    mods;
+    defs;
+    graph;
+    result;
+    raw;
+    pool_sites = List.rev !pool_sites;
+  }
+
+let check ?(check_required = true) (t : t) : Tool_report.finding list =
+  Effects_contract.check ~check_required ~defs:t.defs ~graph:t.graph
+    ~result:t.result ~extern ~pool_sites:t.pool_sites

@@ -2,22 +2,31 @@
     conventions the type checker cannot see.
 
     Usage:
-      ccache_lint [--format=text|github] [--allowlist FILE]
-                  [--list-rules] PATH...
+      ccache_lint [--format=text|github|sarif] [--allowlist FILE]
+                  [--cmt-root DIR] [--list-rules] PATH...
 
     Parses every [.ml]/[.mli] under the given paths (skipping [_build]
     and dot-directories) with compiler-libs [Parse], runs each
     registered rule, filters findings through [@lint.allow] spans and
     the allowlist, prints [file:line:col: [rule] message] diagnostics
     in deterministic order, and exits 1 iff any finding remains.
-    Purely syntactic — no type information is needed, so files are
-    linted without being compiled. *)
+    Purely syntactic by default — no type information is needed, so
+    files are linted without being compiled.
 
-type format = Text | Github
+    [--cmt-root DIR] promotes the [domain-capture] rule to typed mode:
+    the effect analysis ([Effects_pipeline]) is run over the [.cmt]
+    artifacts under DIR, and pool-task closures are checked against
+    the whole-library call graph — catching *transitive* writes to
+    module-level state that the one-file parsetree heuristic cannot
+    see.  Files covered by a loaded [.cmt] use the typed verdict;
+    everything else (and every run without [--cmt-root]) falls back to
+    the parsetree heuristic. *)
+
+type format = Text | Github | Sarif
 
 let usage =
-  "usage: ccache_lint [--format=text|github] [--allowlist FILE] \
-   [--list-rules] PATH..."
+  "usage: ccache_lint [--format=text|github|sarif] [--allowlist FILE] \
+   [--cmt-root DIR] [--list-rules] PATH..."
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("ccache_lint: " ^ s); exit 2) fmt
 
@@ -39,7 +48,12 @@ let rec collect acc path =
 (* ---- parsing ---- *)
 
 let parse_file path : (Lint_rule.source, string) result =
-  let ic = open_in_bin path in
+  (* An unreadable file (permissions, TOCTOU deletion) is an
+     environment problem, not a lint finding: diagnose and exit 2
+     rather than letting the Sys_error escape as a backtrace. *)
+  let ic =
+    try open_in_bin path with Sys_error msg -> fail "cannot read: %s" msg
+  in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
@@ -53,18 +67,74 @@ let parse_file path : (Lint_rule.source, string) result =
 
 (* ---- driver ---- *)
 
+(* Typed domain-capture: pool-site findings from the cross-module
+   effect analysis, plus the set of source files it covered (those
+   skip the parsetree heuristic).  Returns [None] when DIR holds no
+   .cmt units, in which case the caller falls back to the heuristic
+   everywhere. *)
+let typed_domain_capture dir =
+  match Effects_pipeline.analyze ~roots:[ dir ] () with
+  | exception _ -> None
+  | t when Hashtbl.length t.Effects_pipeline.defs = 0 -> None
+  | t ->
+      let covered = Hashtbl.create 64 in
+      List.iter
+        (fun (mi : Effects_defs.modinfo) ->
+          Hashtbl.replace covered mi.unit_.Cmt_load.source ())
+        t.Effects_pipeline.mods;
+      let findings =
+        List.concat_map
+          (fun (site : Effects_extract.pool_site) ->
+            let effs =
+              Effects_contract.pool_task_effects t.Effects_pipeline.graph
+                t.Effects_pipeline.result ~extern:Effects_seed.classify site
+            in
+            let mk msg =
+              Lint_diag.make ~file:site.site_source ~rule:"domain-capture"
+                ~msg site.site_loc
+            in
+            (if Effect_set.mem effs Effect_set.Gwrite then
+               [
+                 mk
+                   (Printf.sprintf
+                      "closure passed to Domain_pool.%s in %s transitively \
+                       writes module-level state (call-graph analysis): an \
+                       unsynchronised cross-domain write (data race)"
+                      site.site_fn site.site_in);
+               ]
+             else [])
+            @
+            if site.site_captured <> [] then
+              [
+                mk
+                  (Printf.sprintf
+                     "closure passed to Domain_pool.%s in %s mutates state \
+                      captured from the enclosing scope: %s"
+                     site.site_fn site.site_in
+                     (String.concat ", " site.site_captured));
+              ]
+            else [])
+          t.Effects_pipeline.pool_sites
+      in
+      Some (covered, findings)
+
 let () =
   let format = ref Text in
   let allowlist = ref [] in
+  let cmt_root = ref None in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--format=github" :: rest -> format := Github; parse_args rest
     | "--format=text" :: rest -> format := Text; parse_args rest
-    | "--format" :: ("github" | "text") :: _ ->
-        fail "use --format=github / --format=text"
+    | "--format=sarif" :: rest -> format := Sarif; parse_args rest
+    | "--format" :: ("github" | "text" | "sarif") :: _ ->
+        fail "use --format=github / --format=text / --format=sarif"
     | "--allowlist" :: file :: rest ->
         allowlist := !allowlist @ Lint_suppress.load_allowlist file;
+        parse_args rest
+    | "--cmt-root" :: dir :: rest ->
+        cmt_root := Some dir;
         parse_args rest
     | "--list-rules" :: _ ->
         List.iter
@@ -78,6 +148,12 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   if !paths = [] then fail "no paths given\n%s" usage;
   let files = List.fold_left collect [] (List.rev !paths) |> List.sort String.compare in
+  let typed = Option.map typed_domain_capture !cmt_root |> Option.join in
+  let typed_covers path =
+    match typed with
+    | Some (covered, _) -> Hashtbl.mem covered path
+    | None -> false
+  in
   let al = !allowlist in
   let diags = ref [] in
   let spans_by_file = Hashtbl.create 64 in
@@ -104,6 +180,11 @@ let () =
             (fun (rule : Lint_rule.t) ->
               match rule.check_ast with
               | None -> ()
+              | Some check
+                when rule.name = "domain-capture" && typed_covers path ->
+                  (* the call-graph verdict for this file supersedes
+                     the one-file heuristic *)
+                  ignore check
               | Some check ->
                   List.iter
                     (fun (f : Lint_rule.finding) ->
@@ -113,6 +194,16 @@ let () =
                     (check ~path src))
             Lint_registry.all)
     files;
+  (* typed domain-capture findings, restricted to the scanned set *)
+  (match typed with
+  | None -> ()
+  | Some (_, typed_findings) ->
+      let scanned = Hashtbl.create 64 in
+      List.iter (fun f -> Hashtbl.replace scanned f ()) files;
+      List.iter
+        (fun (d : Lint_diag.t) ->
+          if Hashtbl.mem scanned d.file then add d.file d)
+        typed_findings);
   (* file-set rules *)
   let ml_files = List.filter (fun f -> Filename.check_suffix f ".ml") files in
   List.iter
@@ -126,13 +217,19 @@ let () =
             (check ~ml_files))
     Lint_registry.all;
   let diags = List.sort_uniq Lint_diag.compare !diags in
-  List.iter
-    (fun d ->
-      print_endline
-        (match !format with
-        | Text -> Lint_diag.to_text d
-        | Github -> Lint_diag.to_github d))
-    diags;
+  (match !format with
+  | Text -> List.iter (fun d -> print_endline (Lint_diag.to_text d)) diags
+  | Github -> List.iter (fun d -> print_endline (Lint_diag.to_github d)) diags
+  | Sarif ->
+      let rules =
+        List.map
+          (fun (r : Lint_rule.t) -> (r.name, r.describe))
+          Lint_registry.all
+        @ [ ("parse-error", "file does not parse as OCaml") ]
+      in
+      print_string
+        (Tool_report.sarif ~tool:"ccache_lint" ~version:"1.0" ~rules
+           (List.map Lint_diag.to_report diags)));
   match diags with
   | [] -> ()
   | _ ->

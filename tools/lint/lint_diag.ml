@@ -1,8 +1,10 @@
-(** Location-tagged findings and the two output formats.
+(** Location-tagged findings and their output formats.
 
-    Diagnostics render as [file:line:col: [rule] message] (text) or as
-    GitHub Actions [::error] workflow commands ([--format=github]), so
-    CI findings surface as inline PR annotations. *)
+    Diagnostics render as [file:line:col: [rule] message] (text), as
+    GitHub Actions [::error] workflow commands ([--format=github]) so
+    CI findings surface as inline PR annotations, or as a SARIF log
+    ([--format=sarif]); all three go through {!Tool_report}, the
+    reporting layer shared with [ccache_effects]. *)
 
 type t = {
   file : string;
@@ -42,8 +44,10 @@ let compare a b =
         let c = String.compare a.rule b.rule in
         if c <> 0 then c else String.compare a.msg b.msg
 
-let to_text d = Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+(* Rendering is delegated to the shared reporter so every dev tool
+   emits byte-identical text/github lines and the same SARIF dialect. *)
+let to_report d : Tool_report.finding =
+  { file = d.file; line = d.line; col = d.col; rule = d.rule; msg = d.msg }
 
-let to_github d =
-  Printf.sprintf "::error file=%s,line=%d,col=%d,title=ccache_lint %s::%s" d.file
-    d.line d.col d.rule d.msg
+let to_text d = Tool_report.to_text (to_report d)
+let to_github d = Tool_report.to_github ~tool:"ccache_lint" (to_report d)

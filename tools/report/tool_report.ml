@@ -1,0 +1,100 @@
+(** Shared finding/reporting layer for the repo's own dev tools
+    ([ccache_lint], [ccache_effects]).
+
+    One finding type, three emitters:
+    - [to_text]: the classic [file:line:col: [rule] msg] line;
+    - [to_github]: a GitHub Actions workflow command ([::error …]) that
+      turns into an inline PR annotation;
+    - [sarif]: a complete, minimal SARIF 2.1.0 document, the
+      interchange format code-scanning UIs ingest.
+
+    Everything is deterministic: emitters preserve the order findings
+    are given in and allocate nothing surprising, so outputs are
+    directly diffable in CI. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, compiler convention; SARIF emits [col + 1] *)
+  rule : string;
+  msg : string;
+}
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let to_text f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+(** [tool] becomes the annotation title prefix, e.g.
+    [title=ccache_lint no-wallclock]. *)
+let to_github ~tool f =
+  Printf.sprintf "::error file=%s,line=%d,col=%d,title=%s %s::%s" f.file f.line
+    f.col tool f.rule f.msg
+
+(* ---- JSON ---- *)
+
+(** Escape for a JSON string literal (no surrounding quotes). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** A complete SARIF 2.1.0 log with a single run.  [rules] supplies
+    driver metadata ([id], one-line description) for every rule id that
+    may appear; findings referencing other ids are still valid SARIF
+    (rule metadata is optional). *)
+let sarif ~tool ~version ~rules (findings : finding list) =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add "  \"runs\": [\n    {\n";
+  add "      \"tool\": {\n        \"driver\": {\n";
+  Printf.ksprintf add "          \"name\": %S,\n" tool;
+  Printf.ksprintf add "          \"version\": %S,\n" version;
+  add "          \"rules\": [\n";
+  List.iteri
+    (fun i (id, desc) ->
+      Printf.ksprintf add
+        "            {\"id\": \"%s\", \"shortDescription\": {\"text\": \
+         \"%s\"}}%s\n"
+        (json_escape id) (json_escape desc)
+        (if i = List.length rules - 1 then "" else ","))
+    rules;
+  add "          ]\n        }\n      },\n";
+  add "      \"results\": [\n";
+  List.iteri
+    (fun i f ->
+      Printf.ksprintf add
+        "        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": \
+         {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": \
+         {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": {\"startLine\": \
+         %d, \"startColumn\": %d}}}]}%s\n"
+        (json_escape f.rule) (json_escape f.msg) (json_escape f.file) f.line
+        (max 1 (f.col + 1))
+        (if i = List.length findings - 1 then "" else ","))
+    findings;
+  add "      ]\n    }\n  ]\n}\n";
+  Buffer.contents b
