@@ -300,6 +300,190 @@ let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
       | None -> ());
       3
 
+(* --- serve command --- *)
+
+module Serve = Ccache_serve
+
+(* Sharded service over a recorded or generated request stream.  The
+   logical-clock scheduler makes the whole run a pure function of the
+   configuration, so the report is byte-identical at every --jobs
+   width; shards execute as supervised tasks (ids "shard/<i>"), so
+   --kill shard/1 quarantines one shard while the rest complete, and
+   --checkpoint/--resume replay finished shards bit-for-bit. *)
+let serve_cmd policy_name trace_file workload tenants pages skew seed length k
+    cost shards batch queue_cap clients rate route overload jobs timeout
+    retries backoff chaos kill checkpoint_path resume trace_out metrics_out =
+  match find_policy policy_name with
+  | None ->
+      Fmt.epr "unknown policy %S; try the 'list' command@." policy_name;
+      2
+  | Some policy ->
+      if Ccache_sim.Policy.needs_future policy then begin
+        Fmt.epr "offline policy %S cannot serve (no future on a request stream)@."
+          policy_name;
+        exit 2
+      end;
+      if shards <= 0 || batch <= 0 || queue_cap <= 0 || clients <= 0 || rate <= 0
+      then begin
+        Fmt.epr
+          "--shards, --batch, --queue-cap, --clients and --rate must be \
+           positive@.";
+        exit 2
+      end;
+      if jobs < 0 then begin
+        Fmt.epr "--jobs must be >= 0@.";
+        exit 2
+      end;
+      if retries < 0 then begin
+        Fmt.epr "--retries must be >= 0@.";
+        exit 2
+      end;
+      let obs = Obs_args.setup ~trace_out ~metrics_out in
+      let trace =
+        match trace_file with
+        | Some "-" -> Ccache_trace.Trace_io.of_string (In_channel.input_all stdin)
+        | Some path -> Ccache_trace.Trace_io.read_file path
+        | None -> make_workload ~workload ~tenants ~pages ~skew ~seed ~length
+      in
+      let n_users = Ccache_trace.Trace.n_users trace in
+      let costs = make_costs ~cost n_users in
+      let router =
+        match route with
+        | "page" -> Serve.Router.by_page ~shards
+        | "tenant" -> Serve.Router.by_tenant ~shards ~n_users ()
+        | other -> Fmt.failwith "unknown route %S (page|tenant)" other
+      in
+      let overload =
+        match overload with
+        | "block" -> Serve.Scheduler.Block
+        | "reject" -> Serve.Scheduler.Reject
+        | other -> Fmt.failwith "unknown overload mode %S (block|reject)" other
+      in
+      let shard_k = Stdlib.max 1 (k / shards) in
+      let config =
+        Serve.Service.config ~policy ~clients ~overload ~client_rate:rate
+          ~batch ~queue_cap ~router ~shard_k ()
+      in
+      let fingerprint = Serve.Service.fingerprint config ~costs trace in
+      let fault = parse_fault ~chaos ~kill in
+      let policy_cfg =
+        {
+          U.Supervisor.default_policy with
+          max_retries = retries;
+          timeout_s = timeout;
+          backoff_base_s = backoff;
+        }
+      in
+      let checkpoint =
+        match (checkpoint_path, resume) with
+        | None, false -> None
+        | None, true ->
+            Fmt.epr "--resume requires --checkpoint FILE@.";
+            exit 2
+        | Some p, true -> (
+            match U.Checkpoint.load_or_create ~path:p ~fingerprint () with
+            | Ok ck -> Some ck
+            | Error e ->
+                Fmt.epr "cannot resume: %s@." e;
+                exit 2)
+        | Some p, false -> Some (U.Checkpoint.create ~path:p ~fingerprint ())
+      in
+      let on_event = function
+        | U.Supervisor.Retrying { task; attempt; delay_s; error } ->
+            Fmt.epr "[supervisor] %s: attempt %d after %.3fs backoff (%s)@." task
+              attempt delay_s error
+        | U.Supervisor.Gave_up { task; attempts; error } ->
+            Fmt.epr "[supervisor] %s: quarantined after %d attempt(s): %s@." task
+              attempts error
+        | U.Supervisor.Replayed { task } ->
+            Fmt.epr "[supervisor] %s: replayed from checkpoint@." task
+      in
+      let sup =
+        let run pool =
+          Serve.Service.run_supervised ?pool ~policy:policy_cfg ~fault
+            ?checkpoint ~on_event config ~costs trace
+        in
+        if jobs = 1 then run None
+        else
+          let size = if jobs = 0 then None else Some jobs in
+          Ccache_util.Domain_pool.with_pool ?size (fun pool -> run (Some pool))
+      in
+      (match sup.Serve.Service.outcome with
+      | Some r ->
+          let s = r.Serve.Service.schedule in
+          Fmt.pr
+            "serve: %d shards (route=%s), k=%d/shard, batch=%d, queue-cap=%d, \
+             %d client(s) x rate %d, overload=%s@."
+            shards
+            (Serve.Router.name router)
+            shard_k batch queue_cap clients rate
+            (Serve.Scheduler.overload_name
+               config.Serve.Service.sched.Serve.Scheduler.overload);
+          Fmt.pr
+            "requests %d  admitted %d  rejected %d  stalls %d  rounds %d  \
+             throughput %.2f req/round@."
+            (Serve.Service.requests r)
+            s.Serve.Scheduler.admitted s.Serve.Scheduler.rejected
+            s.Serve.Scheduler.stalls s.Serve.Scheduler.rounds
+            r.Serve.Service.throughput;
+          Fmt.pr "hits %d  misses %d  total cost %.2f@." r.Serve.Service.hits
+            (Serve.Service.misses r) r.Serve.Service.total_cost;
+          let module Tbl = Ccache_util.Ascii_table in
+          let tbl =
+            Tbl.create ~title:"per-shard"
+              ~aligns:
+                [
+                  Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+                  Tbl.Right; Tbl.Right; Tbl.Right;
+                ]
+              [
+                "shard"; "requests"; "batches"; "maxdepth"; "meanwait";
+                "rejected"; "hits"; "misses";
+              ]
+          in
+          Array.iteri
+            (fun i (ss : Serve.Scheduler.shard_schedule) ->
+              let er = r.Serve.Service.engines.(i) in
+              let drained = Array.length ss.Serve.Scheduler.pages in
+              let mean_wait =
+                if drained = 0 then 0.
+                else
+                  float_of_int
+                    (Array.fold_left ( + ) 0 ss.Serve.Scheduler.waits)
+                  /. float_of_int drained
+              in
+              Tbl.add_row tbl
+                [
+                  Tbl.cell_int i;
+                  Tbl.cell_int drained;
+                  Tbl.cell_int (Array.length ss.Serve.Scheduler.batches);
+                  Tbl.cell_int ss.Serve.Scheduler.max_depth;
+                  Tbl.cell_float ~digits:2 mean_wait;
+                  Tbl.cell_int ss.Serve.Scheduler.rejected;
+                  Tbl.cell_int er.Ccache_sim.Engine.hits;
+                  Tbl.cell_int (Ccache_sim.Engine.misses er);
+                ])
+            s.Serve.Scheduler.shards;
+          Tbl.print tbl
+      | None -> ());
+      Obs_args.finish obs;
+      (match sup.Serve.Service.failures with
+      | [] -> 0
+      | failures ->
+          List.iter
+            (fun { U.Supervisor.task; attempts; error } ->
+              Fmt.epr "quarantined: %s (after %d attempt(s)): %s@." task attempts
+                error)
+            failures;
+          (match checkpoint_path with
+          | Some p ->
+              Fmt.epr
+                "completed shards checkpointed to %s; rerun with --checkpoint \
+                 %s --resume to complete@."
+                p p
+          | None -> ());
+          3)
+
 (* --- list command --- *)
 
 let list_cmd () =
@@ -409,6 +593,54 @@ let resume_arg =
            compute only the rest.  Refuses a checkpoint written by a \
            different sweep configuration.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Partition the page space across $(docv) engine shards.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "batch" ] ~docv:"B"
+        ~doc:"Requests a shard drains per logical round (default 8).")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Bound on each shard's request queue (default 64).")
+
+let clients_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "clients" ] ~docv:"N"
+        ~doc:
+          "Deal the request stream round-robin over $(docv) client \
+           streams (default 1).")
+
+let rate_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Requests each client emits per round (default 1).")
+
+let route_arg =
+  Arg.(
+    value & opt string "page"
+    & info [ "route" ] ~docv:"MODE"
+        ~doc:
+          "Shard routing: 'page' (hash partition of the page space) or \
+           'tenant' (each user pinned to one shard).")
+
+let overload_arg =
+  Arg.(
+    value & opt string "block"
+    & info [ "overload" ] ~docv:"MODE"
+        ~doc:
+          "Backpressure on a full shard queue: 'block' (head-of-line \
+           stall, nothing dropped) or 'reject' (drop and count).")
+
 let trace_out_arg = Obs_args.trace_out
 let metrics_out_arg = Obs_args.metrics_out
 
@@ -436,11 +668,26 @@ let sweep_term =
     $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg $ trace_out_arg
     $ metrics_out_arg)
 
+let serve_term =
+  Term.(
+    const serve_cmd $ policy_arg $ trace_arg $ workload_arg $ tenants_arg
+    $ pages_arg $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg
+    $ shards_arg $ batch_arg $ queue_cap_arg $ clients_arg $ rate_arg
+    $ route_arg $ overload_arg $ jobs_arg $ timeout_arg $ retries_arg
+    $ backoff_arg $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg
+    $ trace_out_arg $ metrics_out_arg)
+
 let cmd =
   Cmd.group
     (Cmd.info "ccache_cli" ~doc:"Convex-cost caching simulator")
     [
       Cmd.v (Cmd.info "run" ~doc:"Run a policy on a trace") run_term;
+      Cmd.v
+        (Cmd.info "serve"
+           ~doc:
+             "Serve a request stream through a sharded cache service \
+              (deterministic logical-clock replay)")
+        serve_term;
       Cmd.v (Cmd.info "gen" ~doc:"Generate a trace file") gen_term;
       Cmd.v
         (Cmd.info "sweep"

@@ -1,0 +1,153 @@
+(** E15 — the serving layer: what sharding a convex-cost cache does to
+    aggregate cost and logical throughput.
+
+    A sharded service splits one k-page cache into N private k/N-page
+    shards, so it pays twice: the hash partition severs each tenant's
+    locality across shards, and a hot shard cannot borrow capacity
+    from a cold one.  The shared engine (N = 1, paper setting) is the
+    cost baseline; the throughput column is the other side of the
+    trade — N shards drain N batches per logical round.  The second
+    table holds shards fixed and squeezes the queue bound, showing the
+    backpressure dial: [Block] preserves every request but stretches
+    the makespan (stalls), [Reject] holds the makespan and sheds load
+    instead. *)
+
+module Tbl = Ccache_util.Ascii_table
+module Serve = Ccache_serve
+module Engine = Ccache_sim.Engine
+module Metrics = Ccache_sim.Metrics
+
+let policy = Ccache_core.Alg_fast.policy
+
+let serve ?(overload = Serve.Scheduler.Block) ?(queue_cap = 64) ~router
+    ~shard_k ~costs trace =
+  let config =
+    Serve.Service.config ~policy ~clients:4 ~overload ~batch:8 ~queue_cap
+      ~router ~shard_k ()
+  in
+  Serve.Service.run config ~costs trace
+
+let run size =
+  let length, total_k, shard_counts =
+    match size with
+    | Experiment.Quick -> (3000, 64, [ 2; 4 ])
+    | Experiment.Full -> (10000, 128, [ 2; 4; 8 ])
+  in
+  let s = Scenarios.sqlvm ~seed:101 ~length ~scale:1 in
+  let costs = s.Scenarios.costs in
+  let trace = s.Scenarios.trace in
+  let n_users = Array.length costs in
+  let shared = Engine.run ~k:total_k ~costs policy trace in
+  let shared_cost = Metrics.total_cost ~costs shared in
+  let scaling =
+    Tbl.create
+      ~title:
+        (Printf.sprintf "E15: sharded service (total memory %d pages, %s)"
+           total_k s.Scenarios.name)
+      ~aligns:
+        [
+          Tbl.Right; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+          Tbl.Right;
+        ]
+      [
+        "shards"; "route"; "total cost"; "vs shared"; "rounds"; "req/round";
+        "maxdepth";
+      ]
+  in
+  Tbl.add_row scaling
+    [
+      "1"; "shared";
+      Tbl.cell_float ~digits:6 shared_cost;
+      "1.000"; "-"; "-"; "-";
+    ]
+  ;
+  List.iter
+    (fun shards ->
+      let shard_k = total_k / shards in
+      let routers =
+        [
+          Serve.Router.by_page ~shards;
+          Serve.Router.by_tenant ~shards ~n_users ();
+        ]
+      in
+      List.iter
+        (fun router ->
+          let r = serve ~router ~shard_k ~costs trace in
+          let sched = r.Serve.Service.schedule in
+          let max_depth =
+            Array.fold_left
+              (fun acc (ss : Serve.Scheduler.shard_schedule) ->
+                Stdlib.max acc ss.Serve.Scheduler.max_depth)
+              0 sched.Serve.Scheduler.shards
+          in
+          Tbl.add_row scaling
+            [
+              Tbl.cell_int shards;
+              Serve.Router.name router;
+              Tbl.cell_float ~digits:6 r.Serve.Service.total_cost;
+              Tbl.cell_ratio (r.Serve.Service.total_cost /. shared_cost);
+              Tbl.cell_int sched.Serve.Scheduler.rounds;
+              Tbl.cell_float ~digits:2 r.Serve.Service.throughput;
+              Tbl.cell_int max_depth;
+            ])
+        routers)
+    shard_counts;
+  let backpressure =
+    Tbl.create
+      ~title:
+        (Printf.sprintf
+           "E15: backpressure at 4 shards (4 clients, batch 8, %d requests)"
+           length)
+      ~aligns:
+        [ Tbl.Right; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "queue cap"; "overload"; "admitted"; "dropped"; "stalls"; "rounds" ]
+  in
+  let shards = 4 in
+  let router = Serve.Router.by_page ~shards in
+  List.iter
+    (fun queue_cap ->
+      List.iter
+        (fun overload ->
+          let r =
+            serve ~overload ~queue_cap ~router ~shard_k:(total_k / shards)
+              ~costs trace
+          in
+          let sched = r.Serve.Service.schedule in
+          Tbl.add_row backpressure
+            [
+              Tbl.cell_int queue_cap;
+              Serve.Scheduler.overload_name overload;
+              Tbl.cell_int sched.Serve.Scheduler.admitted;
+              Tbl.cell_int sched.Serve.Scheduler.rejected;
+              Tbl.cell_int sched.Serve.Scheduler.stalls;
+              Tbl.cell_int sched.Serve.Scheduler.rounds;
+            ])
+        [ Serve.Scheduler.Block; Serve.Scheduler.Reject ])
+    [ 1; 2; 64 ];
+  Experiment.output ~id:"e15" ~title:"Sharded cache service"
+    ~notes:
+      [
+        "sharding generally costs more than the shared engine: it splits \
+         capacity and severs cross-shard locality, and that gap is the price \
+         of the service's parallel drain (throughput scales with the shard \
+         count); the one exception is tenant isolation at low shard counts, \
+         which can edge out the shared run because the shared algorithm is \
+         competitive, not optimal — walls that match the skew remove its \
+         cross-tenant mistakes";
+        "tenant routing keeps each user's working set whole but cannot \
+         balance capacity: with few, skewed tenants a pinned shard saturates \
+         while others idle (the 4-shard row), whereas the hash partition \
+         balances load at the price of splitting every working set";
+        "with a tight queue bound, Block preserves every request and pays in \
+         rounds (stalls); Reject holds the makespan and pays in dropped \
+         requests — cost falls only because rejected work was never served";
+      ]
+    [ scaling; backpressure ]
+
+let spec =
+  {
+    Experiment.id = "e15";
+    title = "Sharded cache service";
+    claim = "serving-layer extension: cost/throughput trade of sharding";
+    run;
+  }

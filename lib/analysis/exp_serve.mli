@@ -1,0 +1,4 @@
+(** Experiment spec — see the implementation's module comment and
+    DESIGN.md Section 4. *)
+
+val spec : Experiment.t

@@ -16,6 +16,7 @@ let all : Experiment.t list =
     Exp_fractional.spec;
     Exp_dbsim.spec;
     Exp_windows.spec;
+    Exp_serve.spec;
   ]
 
 let find id = List.find_opt (fun (e : Experiment.t) -> e.Experiment.id = id) all

@@ -1,0 +1,172 @@
+(** Logical-clock admission scheduler (see the interface for the round
+    semantics).  Everything here is plain bookkeeping over queues of
+    [(page, submit_round)] pairs; the engines never run under this
+    module, so the schedule cannot depend on cache contents. *)
+
+open Ccache_trace
+
+type overload = Block | Reject
+
+let overload_name = function Block -> "block" | Reject -> "reject"
+
+type config = {
+  router : Router.t;
+  batch : int;
+  queue_cap : int;
+  overload : overload;
+  client_rate : int;
+}
+
+let config ?(overload = Block) ?(client_rate = 1) ~router ~batch ~queue_cap () =
+  if batch <= 0 then invalid_arg "Scheduler.config: batch must be positive";
+  if queue_cap <= 0 then
+    invalid_arg "Scheduler.config: queue_cap must be positive";
+  if client_rate <= 0 then
+    invalid_arg "Scheduler.config: client_rate must be positive";
+  { router; batch; queue_cap; overload; client_rate }
+
+type shard_schedule = {
+  shard : int;
+  pages : Page.t array;
+  batches : (int * int) array;
+  waits : int array;
+  rejected : int;
+  max_depth : int;
+  depth_sum : int;
+}
+
+type t = {
+  config : config;
+  rounds : int;
+  shards : shard_schedule array;
+  admitted : int;
+  rejected : int;
+  stalls : int;
+}
+
+(* Mutable per-shard state during the simulation.  Queues hold
+   [(page, submit_round)]; drained requests accumulate in reverse. *)
+type shard_state = {
+  queue : (Page.t * int) Queue.t;
+  mutable drained : Page.t list;
+  mutable drained_waits : int list;
+  mutable drained_count : int;
+  mutable batch_log : (int * int) list;
+  mutable s_rejected : int;
+  mutable s_max_depth : int;
+  mutable s_depth_sum : int;
+}
+
+let build config ~clients =
+  let n_shards = Router.shards config.router in
+  let shards =
+    Array.init n_shards (fun _ ->
+        {
+          queue = Queue.create ();
+          drained = [];
+          drained_waits = [];
+          drained_count = 0;
+          batch_log = [];
+          s_rejected = 0;
+          s_max_depth = 0;
+          s_depth_sum = 0;
+        })
+  in
+  let n_clients = Array.length clients in
+  let cursors = Array.make n_clients 0 in
+  let admitted = ref 0 in
+  let rejected = ref 0 in
+  let stalls = ref 0 in
+  let remaining_clients () =
+    let any = ref false in
+    Array.iteri
+      (fun c cur -> if cur < Array.length clients.(c) then any := true)
+      cursors;
+    !any
+  in
+  let queued () =
+    Array.exists (fun s -> not (Queue.is_empty s.queue)) shards
+  in
+  let round = ref 0 in
+  while remaining_clients () || queued () do
+    (* admission phase: clients in id order, up to [client_rate] each *)
+    for c = 0 to n_clients - 1 do
+      let stream = clients.(c) in
+      let budget = ref config.client_rate in
+      let stalled = ref false in
+      while (not !stalled) && !budget > 0 && cursors.(c) < Array.length stream
+      do
+        let page = stream.(cursors.(c)) in
+        let s = shards.(Router.route config.router page) in
+        if Queue.length s.queue < config.queue_cap then begin
+          Queue.push (page, !round) s.queue;
+          incr admitted;
+          if Queue.length s.queue > s.s_max_depth then
+            s.s_max_depth <- Queue.length s.queue;
+          cursors.(c) <- cursors.(c) + 1;
+          decr budget
+        end
+        else
+          match config.overload with
+          | Block ->
+              (* head-of-line: the client keeps this request and gives
+                 up on the rest of its round *)
+              stalled := true;
+              incr stalls
+          | Reject ->
+              s.s_rejected <- s.s_rejected + 1;
+              incr rejected;
+              cursors.(c) <- cursors.(c) + 1;
+              decr budget
+      done
+    done;
+    (* drain phase: up to [batch] per shard, FIFO *)
+    Array.iter
+      (fun s ->
+        let n = min config.batch (Queue.length s.queue) in
+        if n > 0 then begin
+          for _ = 1 to n do
+            let page, submitted = Queue.pop s.queue in
+            s.drained <- page :: s.drained;
+            s.drained_waits <- (!round - submitted) :: s.drained_waits;
+            s.drained_count <- s.drained_count + 1
+          done;
+          s.batch_log <- (!round, n) :: s.batch_log
+        end;
+        s.s_depth_sum <- s.s_depth_sum + Queue.length s.queue)
+      shards;
+    incr round
+  done;
+  let shards =
+    Array.mapi
+      (fun i s ->
+        {
+          shard = i;
+          pages = Array.of_list (List.rev s.drained);
+          batches = Array.of_list (List.rev s.batch_log);
+          waits = Array.of_list (List.rev s.drained_waits);
+          rejected = s.s_rejected;
+          max_depth = s.s_max_depth;
+          depth_sum = s.s_depth_sum;
+        })
+      shards
+  in
+  {
+    config;
+    rounds = !round;
+    shards;
+    admitted = !admitted;
+    rejected = !rejected;
+    stalls = !stalls;
+  }
+
+let clients_of_trace ~clients trace =
+  if clients <= 0 then
+    invalid_arg "Scheduler.clients_of_trace: clients must be positive";
+  let len = Trace.length trace in
+  let streams = Array.make clients [] in
+  for pos = len - 1 downto 0 do
+    let c = pos mod clients in
+    streams.(c) <- Trace.request trace pos :: streams.(c)
+  done;
+  Array.map Array.of_list streams

@@ -1,0 +1,44 @@
+(** One engine shard (see the interface). *)
+
+open Ccache_trace
+module Engine = Ccache_sim.Engine
+
+type t = { id : int; engine : Engine.Step.t }
+
+let create ?on_event ~id ~k ~costs ~policy trace =
+  if Ccache_sim.Policy.needs_future policy then
+    invalid_arg
+      (Printf.sprintf
+         "Shard.create: offline policy %s cannot serve (no future on a live \
+          request stream)"
+         (Ccache_sim.Policy.name policy));
+  { id; engine = Engine.Step.init ?on_event ~k ~costs policy trace }
+
+let create_dynamic ?on_event ~id ~k ~costs ~policy ~n_users () =
+  create ?on_event ~id ~k ~costs ~policy (Trace.of_pages ~n_users [||])
+
+let feed t page = Engine.Step.feed t.engine page
+
+let id t = t.id
+let length t = Engine.Step.length t.engine
+let served t = Engine.Step.served t.engine
+
+let step_batch t ~from ~until =
+  for pos = from to until - 1 do
+    Engine.Step.step t.engine pos
+  done
+  [@@effects.no_alloc] [@@effects.deterministic]
+
+let finish t = Engine.Step.finish t.engine
+
+let run_schedule ?on_event ~k ~costs ~policy ~n_users
+    (schedule : Scheduler.shard_schedule) =
+  let trace = Trace.of_pages ~n_users schedule.Scheduler.pages in
+  let t = create ?on_event ~id:schedule.Scheduler.shard ~k ~costs ~policy trace in
+  let from = ref 0 in
+  Array.iter
+    (fun (_round, count) ->
+      step_batch t ~from:!from ~until:(!from + count);
+      from := !from + count)
+    schedule.Scheduler.batches;
+  finish t

@@ -1,0 +1,76 @@
+(** One engine shard: a {!Ccache_sim.Engine.Step} instance replaying
+    the requests the {!Scheduler} assigned to it, batch by batch.
+
+    A shard owns nothing but its engine state; all queueing and
+    admission happened in the scheduler, so shard execution is an
+    isolated, deterministic function of its schedule — which is why
+    {!Service} can run shards on worker domains (or replay one from a
+    checkpoint) without any cross-shard synchronisation.
+
+    [step_batch] is the service hot path — one call per drained batch,
+    advancing the engine over a contiguous slice of the shard's
+    sequence.  It carries the same CI-gated effect contracts as
+    [Engine.Step.step] (no allocation, no nondeterminism; enforced by
+    [dune build @effects]). *)
+
+open Ccache_trace
+
+type t
+
+val create :
+  ?on_event:(Ccache_sim.Engine.event -> unit) ->
+  id:int ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  policy:Ccache_sim.Policy.t ->
+  Trace.t ->
+  t
+(** Shard [id] over its (already routed) request sequence, with a
+    per-shard cache of [k] pages.  Offline policies are rejected: the
+    serving layer has no future.  @raise Invalid_argument as
+    [Engine.Step.init], or on an offline policy. *)
+
+val create_dynamic :
+  ?on_event:(Ccache_sim.Engine.event -> unit) ->
+  id:int ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  policy:Ccache_sim.Policy.t ->
+  n_users:int ->
+  unit ->
+  t
+(** A shard with no prebuilt sequence, for the live {!Session}: the
+    engine state is built over an empty trace (which fixes [n_users]
+    and the cost vector) and requests arrive through {!feed}. *)
+
+val feed : t -> Page.t -> unit
+(** Replay one live request ({!Ccache_sim.Engine.Step.feed}). *)
+
+val id : t -> int
+
+val length : t -> int
+(** Requests in the shard's sequence. *)
+
+val served : t -> int
+(** Requests replayed so far. *)
+
+val step_batch : t -> from:int -> until:int -> unit
+(** Replay positions [from .. until - 1] of the shard's sequence.
+    Batches must tile the sequence in order.  @raise Policy_error if
+    the policy misbehaves. *)
+
+val finish : t -> Ccache_sim.Engine.result
+(** Assemble the shard's engine result (call once, after the last
+    batch). *)
+
+val run_schedule :
+  ?on_event:(Ccache_sim.Engine.event -> unit) ->
+  k:int ->
+  costs:Ccache_cost.Cost_function.t array ->
+  policy:Ccache_sim.Policy.t ->
+  n_users:int ->
+  Scheduler.shard_schedule ->
+  Ccache_sim.Engine.result
+(** Convenience: build the shard over its schedule's page sequence and
+    replay every scheduled batch.  Exactly [create] + a [step_batch]
+    loop over [schedule.batches] + [finish]. *)

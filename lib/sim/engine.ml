@@ -102,6 +102,7 @@ module Step = struct
     misses_per_user : int array;
     evictions_per_user : int array;
     mutable hits : int;
+    mutable fed : int;  (** requests replayed so far (= next position) *)
     flush : bool;
     on_event : (event -> unit) option;
   }
@@ -136,6 +137,7 @@ module Step = struct
       misses_per_user = Array.make real_users 0;
       evictions_per_user = Array.make real_users 0;
       hits = 0;
+      fed = 0;
       flush;
       on_event;
     }
@@ -151,9 +153,15 @@ module Step = struct
   (* Event records are built inside the [Some] branches only, so runs
      without a listener allocate nothing per decision; the
      [@effects.allow "alloc"] masks scope that exemption to exactly
-     those branches. *)
-  let step t pos =
-    let page = Trace.request t.trace pos in
+     those branches.
+
+     [apply] is the decision body shared by [step] (trace replay, the
+     fused sweeps) and [feed] (dynamically arriving requests from the
+     serving layer): both spellings run the exact same cache and
+     accounting code, which is what makes the sharded service
+     differentially testable against plain trace runs. *)
+  let apply t pos page =
+    t.fed <- pos + 1;
     let h = t.h in
     if is_cached t page then begin
       t.hits <- t.hits + 1;
@@ -198,10 +206,21 @@ module Step = struct
     end
     [@@effects.no_alloc] [@@effects.deterministic]
 
+  let step t pos = apply t pos (Trace.request t.trace pos)
+    [@@effects.no_alloc] [@@effects.deterministic]
+
+  let feed t page = apply t t.fed page
+    [@@effects.no_alloc] [@@effects.deterministic]
+
+  let served t = t.fed
+
   (* Terminal flush: the dummy user's k requests evict every remaining
      real page; dummy pages are pinned so they are never inserted. *)
   let finish t =
-    let n = Trace.length t.trace in
+    (* [fed] equals the trace length after a complete trace replay; it
+       exceeds it (trivially: the trace is empty) for dynamic states
+       driven through [feed]. *)
+    let n = max (Trace.length t.trace) t.fed in
     if t.flush then begin
       for step = 0 to t.k - 1 do
         if occupancy t > 0 then begin

@@ -73,9 +73,23 @@ module Step : sig
   val step : t -> int -> unit
   (** Replay one request. @raise Policy_error if the policy misbehaves. *)
 
+  val feed : t -> Ccache_trace.Page.t -> unit
+  (** Dynamic form of [step]: replay [page] as the next request, at
+      position = number of requests replayed so far.  The serving layer
+      ({!Ccache_serve.Session}) feeds requests as they arrive instead
+      of replaying a prebuilt trace; a state meant for [feed] is
+      normally built over an empty trace (which only fixes [n_users]
+      and the cost vector).  [step] and [feed] run the same decision
+      body, and may be mixed only if the caller keeps positions
+      consecutive.  @raise Policy_error as [step]. *)
+
+  val served : t -> int
+  (** Requests replayed so far through [step]/[feed]. *)
+
   val finish : t -> result
   (** Terminal flush (when [init] was given [~flush:true]) plus result
-      assembly. *)
+      assembly.  [result.trace_length] is the number of requests
+      actually replayed (= the trace length after a full [step] loop). *)
 end
 
 val record_result_obs : result -> unit

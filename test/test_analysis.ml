@@ -88,10 +88,10 @@ let test_certificate_no_ascent () =
 (* ------------------------------------------------------------------ *)
 
 let test_suite_registry () =
-  checki "fourteen experiments" 14 (List.length A.Suite.all);
-  checkb "ids e1..e10" true
+  checki "fifteen experiments" 15 (List.length A.Suite.all);
+  checkb "ids e1..e15" true
     (A.Suite.ids
-    = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14" ]);
+    = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15" ]);
   checkb "find works" true (A.Suite.find "e4" <> None);
   checkb "find missing" true (A.Suite.find "e99" = None)
 

@@ -120,6 +120,24 @@ let test_policy_override () =
   checkb "matches engine" true
     (single.ME.misses_per_user = plain.Engine.misses_per_user)
 
+let test_pooled_runs_match_serial () =
+  (* multi-pool tenant-routing runs farmed out to a Domain_pool are
+     byte-identical to the serial map: each ME.run is a pure function
+     of its config, and parallel_map returns results in input order *)
+  let t = workload ~seed:8 ~tenants:4 ~length:1500 in
+  let costs = costs_of 4 in
+  let configs = [ (1, 32); (2, 16); (4, 8); (2, 12) ] in
+  let eval (pools, pool_size) =
+    let r = ME.run ~pools ~pool_size ~strategy:ME.Static_round_robin ~costs t in
+    (r.ME.misses_per_user, r.ME.migrations)
+  in
+  let serial = List.map eval configs in
+  let pooled =
+    Ccache_util.Domain_pool.with_pool ~size:4 (fun pool ->
+        Ccache_util.Domain_pool.parallel_map pool ~f:eval configs)
+  in
+  checkb "pooled tenant-routing results identical" true (serial = pooled)
+
 let test_strategy_names () =
   checkb "static" true (ME.strategy_name ME.Static_round_robin = "static-rr");
   checkb "greedy" true
@@ -138,6 +156,8 @@ let () =
           Alcotest.test_case "switch cost accounted" `Quick test_switch_cost_accounted;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "policy override" `Quick test_policy_override;
+          Alcotest.test_case "pooled runs match serial" `Quick
+            test_pooled_runs_match_serial;
           Alcotest.test_case "strategy names" `Quick test_strategy_names;
         ] );
     ]

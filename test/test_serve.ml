@@ -1,0 +1,784 @@
+(* Tests for ccache_serve: routing, the logical-clock scheduler, the
+   differential replay harness (sharded service vs independent engines
+   on hash-split sub-traces), supervised execution with kill + resume,
+   record/replay byte-identity of the obs exports, and the live
+   session's backpressure and shutdown semantics. *)
+
+open Ccache_trace
+module Serve = Ccache_serve
+module Router = Serve.Router
+module Scheduler = Serve.Scheduler
+module Service = Serve.Service
+module Session = Serve.Session
+module Engine = Ccache_sim.Engine
+module Cf = Ccache_cost.Cost_function
+module U = Ccache_util
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let qsuite = List.map (QCheck_alcotest.to_alcotest ~long:false)
+
+let costs_of n = Array.init n (fun _ -> Cf.monomial ~beta:2.0 ())
+
+let workload ~seed ~tenants ~length =
+  Workloads.generate ~seed ~length
+    (Workloads.symmetric_zipf ~tenants ~pages_per_tenant:12 ~skew:0.8)
+
+let pages_of trace = Trace.requests trace
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_router_basics () =
+  let r = Router.by_page ~shards:4 in
+  checki "shards" 4 (Router.shards r);
+  checkb "name" true (Router.name r = "page");
+  let t = workload ~seed:1 ~tenants:3 ~length:500 in
+  Array.iter
+    (fun p ->
+      let s = Router.route r p in
+      checkb "in range" true (s >= 0 && s < 4))
+    (pages_of t);
+  let rt = Router.by_tenant ~shards:2 ~n_users:5 () in
+  checkb "tenant name" true (Router.name rt = "tenant");
+  Array.iter
+    (fun p -> checki "round-robin tenant" (Page.user p mod 2) (Router.route rt p))
+    (pages_of (workload ~seed:2 ~tenants:5 ~length:200));
+  Alcotest.check_raises "assignment size"
+    (Invalid_argument "Router.by_tenant: assignment/users mismatch") (fun () ->
+      ignore (Router.by_tenant ~assignment:[| 0 |] ~shards:2 ~n_users:2 ()));
+  Alcotest.check_raises "assignment range"
+    (Invalid_argument "Router.by_tenant: assignment outside shard range")
+    (fun () -> ignore (Router.by_tenant ~assignment:[| 0; 7 |] ~shards:2 ~n_users:2 ()))
+
+let test_split_partitions () =
+  let t = workload ~seed:3 ~tenants:3 ~length:800 in
+  let r = Router.by_page ~shards:3 in
+  let subs = Router.split r t in
+  checki "one sub-trace per shard" 3 (Array.length subs);
+  let total = Array.fold_left (fun a s -> a + Trace.length s) 0 subs in
+  checki "partition preserves count" (Trace.length t) total;
+  Array.iteri
+    (fun i sub ->
+      Array.iter
+        (fun p -> checki "page on its shard" i (Router.route r p))
+        (pages_of sub))
+    subs;
+  (* order within a shard is trace order *)
+  let seen = Array.make 3 [] in
+  Array.iter
+    (fun p -> seen.(Router.route r p) <- p :: seen.(Router.route r p))
+    (pages_of t);
+  Array.iteri
+    (fun i sub ->
+      checkb "sub-trace in trace order" true
+        (Array.to_list (pages_of sub) = List.rev seen.(i)))
+    subs
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sched_config ?(overload = Scheduler.Block) ?(client_rate = 1) ~shards
+    ~batch ~queue_cap () =
+  Scheduler.config ~overload ~client_rate
+    ~router:(Router.by_page ~shards) ~batch ~queue_cap ()
+
+let test_scheduler_conservation () =
+  let t = workload ~seed:4 ~tenants:3 ~length:600 in
+  let clients = Scheduler.clients_of_trace ~clients:3 t in
+  List.iter
+    (fun (overload, cap) ->
+      let cfg = sched_config ~overload ~shards:4 ~batch:2 ~queue_cap:cap () in
+      let s = Scheduler.build cfg ~clients in
+      checki "admitted+rejected = requests" (Trace.length t)
+        (s.Scheduler.admitted + s.Scheduler.rejected);
+      let drained =
+        Array.fold_left
+          (fun a (ss : Scheduler.shard_schedule) ->
+            a + Array.length ss.Scheduler.pages)
+          0 s.Scheduler.shards
+      in
+      checki "drained = admitted" s.Scheduler.admitted drained;
+      Array.iter
+        (fun (ss : Scheduler.shard_schedule) ->
+          let batched =
+            Array.fold_left (fun a (_, n) -> a + n) 0 ss.Scheduler.batches
+          in
+          checki "batches tile the sequence" (Array.length ss.Scheduler.pages)
+            batched;
+          Array.iter
+            (fun (_, n) -> checkb "batch within bound" true (n >= 1 && n <= 2))
+            ss.Scheduler.batches;
+          Array.iter (fun w -> checkb "wait >= 0" true (w >= 0)) ss.Scheduler.waits;
+          checki "waits align with pages"
+            (Array.length ss.Scheduler.pages)
+            (Array.length ss.Scheduler.waits))
+        s.Scheduler.shards;
+      match overload with
+      | Scheduler.Block -> checki "block drops nothing" 0 s.Scheduler.rejected
+      | Scheduler.Reject -> checki "reject never stalls" 0 s.Scheduler.stalls)
+    [ (Scheduler.Block, 1); (Scheduler.Block, 4); (Scheduler.Reject, 1) ]
+
+let test_scheduler_deterministic_batches () =
+  (* 1 shard, cap 2, batch 2, one client: admit 1 per round, drain
+     catches up immediately; the batch log is exactly one singleton
+     batch per round. *)
+  let pages = Array.init 6 (fun i -> Page.make ~user:0 ~id:i) in
+  let cfg = sched_config ~shards:1 ~batch:2 ~queue_cap:2 () in
+  let s = Scheduler.build cfg ~clients:[| pages |] in
+  let ss = s.Scheduler.shards.(0) in
+  checkb "FIFO order preserved" true
+    (Array.to_list ss.Scheduler.pages = Array.to_list pages);
+  checkb "one batch per round" true
+    (Array.to_list ss.Scheduler.batches
+    = List.init 6 (fun r -> (r, 1)));
+  checki "makespan" 6 s.Scheduler.rounds;
+  checki "no queueing beyond depth 1" 1 ss.Scheduler.max_depth
+
+let test_scheduler_backpressure_block () =
+  (* 4 clients racing into one shard of cap 1, batch 1: three of the
+     four stall every admission round. *)
+  let client c = Array.init 5 (fun i -> Page.make ~user:0 ~id:((c * 5) + i)) in
+  let clients = Array.init 4 client in
+  let cfg = sched_config ~shards:1 ~batch:1 ~queue_cap:1 () in
+  let s = Scheduler.build cfg ~clients in
+  checki "nothing dropped" 0 s.Scheduler.rejected;
+  checki "everything served" 20 s.Scheduler.admitted;
+  checkb "stalls observed" true (s.Scheduler.stalls > 0);
+  checkb "makespan stretched to ~1/round" true (s.Scheduler.rounds >= 20)
+
+let test_scheduler_backpressure_reject () =
+  let client c = Array.init 5 (fun i -> Page.make ~user:0 ~id:((c * 5) + i)) in
+  let clients = Array.init 4 client in
+  let cfg = sched_config ~overload:Scheduler.Reject ~shards:1 ~batch:1 ~queue_cap:1 () in
+  let s = Scheduler.build cfg ~clients in
+  checki "no stalls in reject mode" 0 s.Scheduler.stalls;
+  checkb "load shed" true (s.Scheduler.rejected > 0);
+  checki "conservation" 20 (s.Scheduler.admitted + s.Scheduler.rejected);
+  checki "per-shard rejects add up" s.Scheduler.rejected
+    s.Scheduler.shards.(0).Scheduler.rejected
+
+let single_client_order_arb =
+  QCheck.make
+    ~print:(fun (seed, shards, batch, cap, rate) ->
+      Printf.sprintf "seed=%d shards=%d batch=%d cap=%d rate=%d" seed shards
+        batch cap rate)
+    QCheck.Gen.(
+      tup5 (int_bound 1000) (int_range 1 5) (int_range 1 8) (int_range 1 8)
+        (int_range 1 4))
+
+let prop_single_client_order =
+  QCheck.Test.make ~name:"1 client + Block: shard sequence = Router.split"
+    ~count:60 single_client_order_arb (fun (seed, shards, batch, cap, rate) ->
+      let t = workload ~seed ~tenants:3 ~length:200 in
+      let router = Router.by_page ~shards in
+      let cfg =
+        Scheduler.config ~client_rate:rate ~router ~batch ~queue_cap:cap ()
+      in
+      let s =
+        Scheduler.build cfg ~clients:(Scheduler.clients_of_trace ~clients:1 t)
+      in
+      let subs = Router.split router t in
+      Array.for_all
+        (fun (ss : Scheduler.shard_schedule) ->
+          Array.to_list ss.Scheduler.pages
+          = Array.to_list (pages_of subs.(ss.Scheduler.shard)))
+        s.Scheduler.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Differential replay: sharded service vs independent engines         *)
+(* ------------------------------------------------------------------ *)
+
+let diff_arb =
+  QCheck.make
+    ~print:(fun (seed, tenants, shards, batch, cap) ->
+      Printf.sprintf "seed=%d tenants=%d shards=%d batch=%d cap=%d" seed
+        tenants shards batch cap)
+    QCheck.Gen.(
+      tup5 (int_bound 1000) (int_range 1 4) (int_range 1 5) (int_range 1 8)
+        (int_range 1 8))
+
+(* The service with one client in Block mode is observationally a
+   router in front of N independent engines: same per-shard engine
+   results as Engine.run on the Router.split sub-traces, same merged
+   accounting — whatever the batch size or queue bound, and at every
+   pool width. *)
+let check_differential ?pool (seed, tenants, shards, batch, cap) =
+  let t = workload ~seed ~tenants ~length:250 in
+  let costs = costs_of tenants in
+  let router = Router.by_page ~shards in
+  let config =
+    Service.config ~clients:1 ~batch ~queue_cap:cap ~router ~shard_k:8 ()
+  in
+  let r = Service.run ?pool config ~costs t in
+  let subs = Router.split router t in
+  let expected =
+    Array.map
+      (fun sub -> Engine.run ~k:8 ~costs Ccache_core.Alg_fast.policy sub)
+      subs
+  in
+  let merged = Array.make tenants 0 in
+  Array.iter
+    (fun (e : Engine.result) ->
+      Array.iteri (fun u m -> merged.(u) <- merged.(u) + m) e.Engine.misses_per_user)
+    expected;
+  r.Service.engines = expected
+  && r.Service.misses_per_user = merged
+  && r.Service.hits
+     = Array.fold_left (fun a (e : Engine.result) -> a + e.Engine.hits) 0 expected
+  && r.Service.schedule.Scheduler.rejected = 0
+
+let prop_differential_serial =
+  QCheck.Test.make ~name:"sharded service = engines on split sub-traces"
+    ~count:40 diff_arb (fun args -> check_differential args)
+
+let prop_differential_pooled =
+  QCheck.Test.make ~name:"differential holds on a pool (jobs 8)" ~count:10
+    diff_arb (fun args ->
+      U.Domain_pool.with_pool ~size:8 (fun pool ->
+          check_differential ~pool args))
+
+let test_multi_client_differential () =
+  (* several clients, ample queue/batch (>= clients, rate 1): no
+     stalls, admission re-interleaves the dealt streams back into
+     trace order, so the differential still holds exactly. *)
+  let t = workload ~seed:7 ~tenants:4 ~length:600 in
+  let costs = costs_of 4 in
+  List.iter
+    (fun clients ->
+      let router = Router.by_page ~shards:3 in
+      let config =
+        Service.config ~clients ~batch:8 ~queue_cap:8 ~router ~shard_k:8 ()
+      in
+      let r = Service.run config ~costs t in
+      let expected =
+        Array.map
+          (fun sub -> Engine.run ~k:8 ~costs Ccache_core.Alg_fast.policy sub)
+          (Router.split router t)
+      in
+      checkb
+        (Printf.sprintf "differential at %d clients" clients)
+        true
+        (r.Service.engines = expected))
+    [ 1; 2; 3; 4 ]
+
+let test_jobs_width_identity () =
+  let t = workload ~seed:8 ~tenants:3 ~length:1000 in
+  let costs = costs_of 3 in
+  let config =
+    Service.config ~clients:2 ~batch:4 ~queue_cap:4
+      ~router:(Router.by_page ~shards:4) ~shard_k:8 ()
+  in
+  let serial = Service.run config ~costs t in
+  let pooled =
+    U.Domain_pool.with_pool ~size:8 (fun pool -> Service.run ~pool config ~costs t)
+  in
+  checkb "engines identical" true (serial.Service.engines = pooled.Service.engines);
+  checkb "merged misses identical" true
+    (serial.Service.misses_per_user = pooled.Service.misses_per_user);
+  Alcotest.(check (float 0.0))
+    "total cost identical" serial.Service.total_cost pooled.Service.total_cost
+
+let test_reject_sheds_load () =
+  (* Reject mode serves a subset: per-user misses can only shrink
+     against the unthrottled run, and accounting stays conserved. *)
+  let t = workload ~seed:9 ~tenants:3 ~length:800 in
+  let costs = costs_of 3 in
+  let router = Router.by_page ~shards:2 in
+  let throttled =
+    Service.run
+      (Service.config ~clients:4 ~overload:Scheduler.Reject ~batch:1
+         ~queue_cap:1 ~router ~shard_k:8 ())
+      ~costs t
+  in
+  let s = throttled.Service.schedule in
+  checkb "some load shed" true (s.Scheduler.rejected > 0);
+  checki "conservation" (Trace.length t)
+    (s.Scheduler.admitted + s.Scheduler.rejected);
+  let served =
+    Array.fold_left
+      (fun a (e : Engine.result) -> a + e.Engine.trace_length)
+      0 throttled.Service.engines
+  in
+  checki "engines saw exactly the admitted requests" s.Scheduler.admitted served;
+  checki "hits+misses = admitted" s.Scheduler.admitted
+    (throttled.Service.hits
+    + Array.fold_left ( + ) 0 throttled.Service.misses_per_user)
+
+let test_tenant_routing_matches_multipool () =
+  (* By_tenant round-robin with shard_k-page shards is the multipool
+     engine's Static_round_robin partition: same per-user misses. *)
+  let t = workload ~seed:10 ~tenants:4 ~length:900 in
+  let costs = costs_of 4 in
+  List.iter
+    (fun shards ->
+      let r =
+        Service.run
+          (Service.config ~policy:Ccache_core.Alg_discrete.policy
+             ~router:(Router.by_tenant ~shards ~n_users:4 ())
+             ~shard_k:8 ())
+          ~costs t
+      in
+      let mp =
+        Ccache_multipool.Multi_engine.run ~pools:shards ~pool_size:8
+          ~strategy:Ccache_multipool.Multi_engine.Static_round_robin ~costs t
+      in
+      checkb
+        (Printf.sprintf "matches multipool at %d shards" shards)
+        true
+        (r.Service.misses_per_user
+        = mp.Ccache_multipool.Multi_engine.misses_per_user))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervised execution: codec, fingerprint, kill + resume             *)
+(* ------------------------------------------------------------------ *)
+
+let codec_arb =
+  QCheck.make
+    ~print:(fun (seed, tenants, k) ->
+      Printf.sprintf "seed=%d tenants=%d k=%d" seed tenants k)
+    QCheck.Gen.(tup3 (int_bound 1000) (int_range 1 4) (int_range 1 32))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"engine result codec roundtrips" ~count:60 codec_arb
+    (fun (seed, tenants, k) ->
+      let t = workload ~seed ~tenants ~length:120 in
+      let costs = costs_of tenants in
+      let r = Engine.run ~k ~costs Ccache_core.Alg_fast.policy t in
+      Service.engine_codec.U.Supervisor.decode
+        (Service.engine_codec.U.Supervisor.encode r)
+      = Some r)
+
+let test_codec_rejects_garbage () =
+  checkb "garbage" true
+    (Service.engine_codec.U.Supervisor.decode "nonsense" = None);
+  checkb "wrong arity" true
+    (Service.engine_codec.U.Supervisor.decode "a\t1\t2" = None);
+  checkb "bad int" true
+    (Service.engine_codec.U.Supervisor.decode "p\tx\t0\t1\t0\t0\t0\t" = None)
+
+let test_fingerprint_sensitivity () =
+  let t = workload ~seed:11 ~tenants:2 ~length:100 in
+  let t' = workload ~seed:12 ~tenants:2 ~length:100 in
+  let costs = costs_of 2 in
+  let config batch =
+    Service.config ~batch ~router:(Router.by_page ~shards:2) ~shard_k:4 ()
+  in
+  let fp = Service.fingerprint (config 8) ~costs t in
+  checkb "stable" true (fp = Service.fingerprint (config 8) ~costs t);
+  checkb "batch changes it" true (fp <> Service.fingerprint (config 4) ~costs t);
+  checkb "trace changes it" true (fp <> Service.fingerprint (config 8) ~costs t');
+  checkb "single line" true (not (String.contains fp '\n'))
+
+let test_kill_quarantines_and_resume_completes () =
+  let t = workload ~seed:13 ~tenants:3 ~length:700 in
+  let costs = costs_of 3 in
+  let config =
+    Service.config ~clients:2 ~batch:4 ~queue_cap:4
+      ~router:(Router.by_page ~shards:4) ~shard_k:8 ()
+  in
+  let baseline = Service.run config ~costs t in
+  let path = Filename.temp_file "serve_ck" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let fingerprint = Service.fingerprint config ~costs t in
+      let ck = U.Checkpoint.create ~path ~fingerprint () in
+      let killed =
+        Service.run_supervised
+          ~fault:(U.Fault.kill U.Fault.none [ Service.shard_task_id 1 ])
+          ~checkpoint:ck config ~costs t
+      in
+      checkb "no merged result under quarantine" true
+        (killed.Service.outcome = None);
+      (match killed.Service.failures with
+      | [ f ] -> checkb "shard/1 quarantined" true (f.U.Supervisor.task = "shard/1")
+      | fs -> Alcotest.failf "expected 1 failure, got %d" (List.length fs));
+      (* resume: the three completed shards replay from the snapshot,
+         only shard/1 is recomputed, and the merged result is
+         byte-identical to the uninterrupted run *)
+      let ck2 =
+        match U.Checkpoint.load_or_create ~path ~fingerprint () with
+        | Ok ck -> ck
+        | Error e -> Alcotest.failf "reload failed: %s" e
+      in
+      let resumed = Service.run_supervised ~checkpoint:ck2 config ~costs t in
+      checkb "resume completes" true (resumed.Service.failures = []);
+      checkb "replayed the completed shards" true
+        (List.sort compare resumed.Service.replayed
+        = [ "shard/0"; "shard/2"; "shard/3" ]);
+      match resumed.Service.outcome with
+      | None -> Alcotest.fail "resume produced no result"
+      | Some r ->
+          checkb "engines identical to uninterrupted run" true
+            (r.Service.engines = baseline.Service.engines);
+          Alcotest.(check (float 0.0))
+            "cost identical" baseline.Service.total_cost r.Service.total_cost)
+
+let test_fingerprint_guards_resume () =
+  let t = workload ~seed:14 ~tenants:2 ~length:100 in
+  let costs = costs_of 2 in
+  let config batch =
+    Service.config ~batch ~router:(Router.by_page ~shards:2) ~shard_k:4 ()
+  in
+  let path = Filename.temp_file "serve_fp" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let ck =
+        U.Checkpoint.create ~path
+          ~fingerprint:(Service.fingerprint (config 8) ~costs t)
+          ()
+      in
+      let _ = Service.run_supervised ~checkpoint:ck (config 8) ~costs t in
+      checkb "other-config resume refused" true
+        (match
+           U.Checkpoint.load_or_create ~path
+             ~fingerprint:(Service.fingerprint (config 4) ~costs t)
+             ()
+         with
+        | Error _ -> true
+        | Ok _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Record/replay byte-identity of the obs exports                      *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Ccache_obs
+
+(* Each call is a fresh recording epoch: its own counting clock and a
+   metrics reset, so two identical runs must export identical bytes. *)
+let serve_with_obs () =
+  Obs.Control.with_enabled ~clock:(Obs.Clock.counting ()) @@ fun () ->
+  Obs.Metrics.reset ();
+  let t = workload ~seed:15 ~tenants:3 ~length:800 in
+  let costs = costs_of 3 in
+  let config =
+    Service.config ~clients:2 ~batch:4 ~queue_cap:4
+      ~router:(Router.by_page ~shards:3) ~shard_k:8 ()
+  in
+  let r = Service.run config ~costs t in
+  let snap = Obs.Metrics.snapshot () in
+  ( r,
+    snap,
+    Obs.Metrics_export.to_json snap,
+    Obs.Trace_export.to_json ~origin:0.0 (Obs.Span.collect ()) )
+
+let test_record_replay_byte_identity () =
+  let r1, snap, metrics1, spans1 = serve_with_obs () in
+  let r2, _, metrics2, spans2 = serve_with_obs () in
+  checkb "results identical" true (r1.Service.engines = r2.Service.engines);
+  Alcotest.(check string) "metrics export byte-identical" metrics1 metrics2;
+  Alcotest.(check string) "span export byte-identical" spans1 spans2;
+  checkb "serve counters present" true
+    (List.mem_assoc "serve/requests" snap.Obs.Metrics.counters
+    && List.mem_assoc "serve/rounds" snap.Obs.Metrics.counters)
+
+let test_obs_off_equals_on () =
+  (* recording must not change the computation *)
+  let t = workload ~seed:16 ~tenants:3 ~length:600 in
+  let costs = costs_of 3 in
+  let config =
+    Service.config ~clients:3 ~batch:2 ~queue_cap:2
+      ~router:(Router.by_page ~shards:2) ~shard_k:8 ()
+  in
+  let off = Service.run config ~costs t in
+  let on =
+    Obs.Control.with_enabled ~clock:(Obs.Clock.counting ()) (fun () ->
+        Obs.Metrics.reset ();
+        Service.run config ~costs t)
+  in
+  checkb "identical with obs on" true (off.Service.engines = on.Service.engines);
+  Alcotest.(check (float 0.0))
+    "identical cost" off.Service.total_cost on.Service.total_cost
+
+(* Pool self-telemetry (names under "pool/") measures the execution
+   schedule, not the computation, and is excluded by contract — same
+   convention as the sweep obs tests. *)
+let drop_pool_names (s : Obs.Metrics.snapshot) =
+  let keep (name, _) =
+    not (String.length name >= 5 && String.sub name 0 5 = "pool/")
+  in
+  {
+    Obs.Metrics.counters = List.filter keep s.Obs.Metrics.counters;
+    gauges = List.filter keep s.Obs.Metrics.gauges;
+    hists = List.filter keep s.Obs.Metrics.hists;
+  }
+
+let test_metrics_width_independent () =
+  Obs.Control.with_enabled ~clock:(Obs.Clock.counting ()) @@ fun () ->
+  let snap pool =
+    Obs.Metrics.reset ();
+    let t = workload ~seed:17 ~tenants:3 ~length:800 in
+    let costs = costs_of 3 in
+    let config =
+      Service.config ~clients:2 ~batch:4 ~queue_cap:4
+        ~router:(Router.by_page ~shards:4) ~shard_k:8 ()
+    in
+    let _ = Service.run ?pool config ~costs t in
+    Obs.Metrics_export.to_json (drop_pool_names (Obs.Metrics.snapshot ()))
+  in
+  let serial = snap None in
+  let pooled =
+    U.Domain_pool.with_pool ~size:8 (fun pool -> snap (Some pool))
+  in
+  Alcotest.(check string) "metrics export identical at jobs 8" serial pooled
+
+(* ------------------------------------------------------------------ *)
+(* Engine.Step.feed                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_feed_equals_run () =
+  let t = workload ~seed:18 ~tenants:3 ~length:500 in
+  let costs = costs_of 3 in
+  List.iter
+    (fun policy ->
+      let st =
+        Engine.Step.init ~k:12 ~costs policy
+          (Trace.of_pages ~n_users:3 [||])
+      in
+      checki "starts unfed" 0 (Engine.Step.served st);
+      Array.iter (fun p -> Engine.Step.feed st p) (pages_of t);
+      checki "served counts feeds" (Trace.length t) (Engine.Step.served st);
+      let fed = Engine.Step.finish st in
+      let run = Engine.run ~k:12 ~costs policy t in
+      checkb "feed = run" true (fed = run);
+      checki "dynamic trace_length = requests fed" (Trace.length t)
+        fed.Engine.trace_length)
+    [ Ccache_core.Alg_fast.policy; Ccache_policies.Lru.policy ]
+
+(* ------------------------------------------------------------------ *)
+(* Live session                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let session ?(shards = 1) ?(workers = false) ?(batch = 4) ?(queue_cap = 4) () =
+  Session.create ~workers ~router:(Router.by_page ~shards) ~shard_k:8 ~batch
+    ~queue_cap
+    ~costs:(costs_of 2)
+    ()
+
+let test_session_manual_fifo () =
+  let s = session ~batch:2 ~queue_cap:8 () in
+  let pages = Array.init 6 (fun i -> Page.make ~user:0 ~id:(i mod 3)) in
+  let tickets = Array.map (fun p -> Session.submit s p) pages in
+  checki "queued" 6 (Session.pending s);
+  checkb "unprocessed ticket polls None" true
+    (Session.poll tickets.(0) = None);
+  checki "first drain takes a batch" 2 (Session.drain s ~shard:0);
+  checki "rest" 4 (Session.pending s);
+  checki "drain_all finishes" 4 (Session.drain_all s);
+  checki "served" 6 (Session.served s);
+  (* all six requests have outcomes; distinct first touches miss *)
+  Array.iter (fun tk -> ignore (Session.wait tk)) tickets;
+  let results = Session.close s in
+  checki "one shard" 1 (Array.length results);
+  checki "engine saw all requests" 6 results.(0).Engine.trace_length
+
+let test_session_outcomes_match_engine () =
+  let t = workload ~seed:19 ~tenants:2 ~length:400 in
+  let costs = costs_of 2 in
+  let router = Router.by_page ~shards:2 in
+  let s =
+    Session.create ~router ~shard_k:8 ~batch:4 ~queue_cap:8 ~costs ()
+  in
+  let outcomes =
+    Array.map
+      (fun p ->
+        let tk = Session.submit s p in
+        ignore (Session.drain_all s);
+        Session.wait tk)
+      (pages_of t)
+  in
+  let results = Session.close s in
+  let expected =
+    Array.map
+      (fun sub -> Engine.run ~k:8 ~costs Ccache_core.Alg_fast.policy sub)
+      (Router.split router t)
+  in
+  Array.iteri
+    (fun i (e : Engine.result) ->
+      checkb (Printf.sprintf "shard %d engine state matches" i) true
+        (results.(i) = e))
+    expected;
+  let miss_outcomes =
+    Array.fold_left
+      (fun a oc -> match oc with Session.Miss -> a + 1 | Session.Hit -> a)
+      0 outcomes
+  in
+  let engine_misses =
+    Array.fold_left (fun a e -> a + Engine.misses e) 0 expected
+  in
+  checki "per-request outcomes consistent with engines" engine_misses
+    miss_outcomes
+
+let test_session_overload_and_recovery () =
+  let s = session ~batch:1 ~queue_cap:1 () in
+  let page i = Page.make ~user:0 ~id:i in
+  let _t0 = Session.submit s (page 0) in
+  (match Session.try_submit s (page 1) with
+  | Error `Overloaded -> ()
+  | Ok _ -> Alcotest.fail "expected Overloaded on a full queue");
+  checki "one queued" 1 (Session.pending s);
+  checki "drain frees a slot" 1 (Session.drain s ~shard:0);
+  (match Session.try_submit s (page 1) with
+  | Ok _ -> ()
+  | Error `Overloaded -> Alcotest.fail "queue should have space again");
+  ignore (Session.drain_all s);
+  ignore (Session.close s)
+
+let test_session_blocking_submit () =
+  let s = session ~batch:4 ~queue_cap:1 () in
+  let page i = Page.make ~user:0 ~id:i in
+  let _t0 = Session.submit s (page 0) in
+  (* a second client blocks on the full queue; the [waiters] hook makes
+     the blocking observable without timing assumptions *)
+  let blocked =
+    Domain.spawn (fun () -> Session.wait (Session.submit s (page 1)))
+  in
+  while Session.waiters s < 1 do
+    Domain.cpu_relax ()
+  done;
+  checki "still only one queued" 1 (Session.pending s);
+  ignore (Session.drain s ~shard:0);
+  (* the blocked submit can now enqueue; drain until it lands *)
+  let rec finish () =
+    if Session.served s < 2 then begin
+      ignore (Session.drain s ~shard:0);
+      Domain.cpu_relax ();
+      finish ()
+    end
+  in
+  finish ();
+  ignore (Domain.join blocked);
+  checki "no waiters left" 0 (Session.waiters s);
+  ignore (Session.close s)
+
+let test_session_shutdown_cancels_pending () =
+  let s = session ~queue_cap:8 () in
+  let tk0 = Session.submit s (Page.make ~user:0 ~id:0) in
+  ignore (Session.drain_all s);
+  let tk1 = Session.submit s (Page.make ~user:0 ~id:1) in
+  Session.shutdown_now s;
+  checkb "processed ticket keeps its outcome" true
+    (Session.poll tk0 = Some Session.Miss);
+  Alcotest.check_raises "pending ticket fails loudly" Session.Cancelled
+    (fun () -> ignore (Session.wait tk1));
+  Alcotest.check_raises "submit after shutdown" Session.Closed (fun () ->
+      ignore (Session.submit s (Page.make ~user:0 ~id:2)));
+  Session.shutdown_now s (* idempotent *)
+
+let test_session_lifecycle () =
+  let s = session () in
+  ignore (Session.close s);
+  Alcotest.check_raises "double close" Session.Closed (fun () ->
+      ignore (Session.close s));
+  let s2 = session () in
+  Session.shutdown_now s2;
+  Alcotest.check_raises "close after shutdown" Session.Closed (fun () ->
+      ignore (Session.close s2))
+
+let test_session_workers () =
+  (* one worker domain per shard; a single submitter keeps per-shard
+     order deterministic, so the engines must match the split
+     sub-traces exactly *)
+  let t = workload ~seed:20 ~tenants:2 ~length:300 in
+  let costs = costs_of 2 in
+  let router = Router.by_page ~shards:2 in
+  let s =
+    Session.create ~workers:true ~router ~shard_k:8 ~batch:4 ~queue_cap:4
+      ~costs ()
+  in
+  Alcotest.check_raises "manual drain refused"
+    (Invalid_argument "Session.drain: session drains through worker domains")
+    (fun () -> ignore (Session.drain s ~shard:0));
+  let tickets = Array.map (fun p -> Session.submit s p) (pages_of t) in
+  let outcomes = Array.map Session.wait tickets in
+  checki "every request served" (Trace.length t) (Session.served s);
+  let results = Session.close s in
+  let expected =
+    Array.map
+      (fun sub -> Engine.run ~k:8 ~costs Ccache_core.Alg_fast.policy sub)
+      (Router.split router t)
+  in
+  Array.iteri
+    (fun i (e : Engine.result) ->
+      checkb (Printf.sprintf "worker shard %d matches engine" i) true
+        (results.(i) = e))
+    expected;
+  let misses =
+    Array.fold_left
+      (fun a oc -> match oc with Session.Miss -> a + 1 | Session.Hit -> a)
+      0 outcomes
+  in
+  checki "outcome misses match engines"
+    (Array.fold_left (fun a e -> a + Engine.misses e) 0 expected)
+    misses
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "ccache_serve"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "routing basics" `Quick test_router_basics;
+          Alcotest.test_case "split partitions in order" `Quick test_split_partitions;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "conservation" `Quick test_scheduler_conservation;
+          Alcotest.test_case "deterministic batches" `Quick
+            test_scheduler_deterministic_batches;
+          Alcotest.test_case "block backpressure" `Quick
+            test_scheduler_backpressure_block;
+          Alcotest.test_case "reject backpressure" `Quick
+            test_scheduler_backpressure_reject;
+        ]
+        @ qsuite [ prop_single_client_order ] );
+      ( "differential",
+        [
+          Alcotest.test_case "multi-client differential" `Quick
+            test_multi_client_differential;
+          Alcotest.test_case "jobs width identity" `Quick test_jobs_width_identity;
+          Alcotest.test_case "reject sheds load" `Quick test_reject_sheds_load;
+          Alcotest.test_case "tenant routing = multipool" `Quick
+            test_tenant_routing_matches_multipool;
+        ]
+        @ qsuite [ prop_differential_serial; prop_differential_pooled ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "fingerprint sensitivity" `Quick
+            test_fingerprint_sensitivity;
+          Alcotest.test_case "kill quarantines, resume completes" `Quick
+            test_kill_quarantines_and_resume_completes;
+          Alcotest.test_case "fingerprint guards resume" `Quick
+            test_fingerprint_guards_resume;
+        ]
+        @ qsuite [ prop_codec_roundtrip ] );
+      ( "replay",
+        [
+          Alcotest.test_case "record/replay byte identity" `Quick
+            test_record_replay_byte_identity;
+          Alcotest.test_case "obs off = obs on" `Quick test_obs_off_equals_on;
+          Alcotest.test_case "metrics width-independent" `Quick
+            test_metrics_width_independent;
+          Alcotest.test_case "Step.feed = Engine.run" `Quick test_feed_equals_run;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "manual FIFO drain" `Quick test_session_manual_fifo;
+          Alcotest.test_case "outcomes match engine" `Quick
+            test_session_outcomes_match_engine;
+          Alcotest.test_case "overload and recovery" `Quick
+            test_session_overload_and_recovery;
+          Alcotest.test_case "blocking submit" `Quick test_session_blocking_submit;
+          Alcotest.test_case "shutdown cancels pending" `Quick
+            test_session_shutdown_cancels_pending;
+          Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "worker domains" `Quick test_session_workers;
+        ] );
+    ]

@@ -29,6 +29,7 @@ open Effects_defs
 let required : (string * contract list) list =
   [
     ("Ccache_sim.Engine.Step.step", [ No_alloc; Deterministic ]);
+    ("Ccache_serve.Shard.step_batch", [ No_alloc; Deterministic ]);
     ("Ccache_core.Alg_fast.touch", [ No_alloc; Deterministic ]);
     ("Ccache_core.Alg_fast.evict", [ No_alloc; Deterministic ]);
     ("Ccache_util.Indexed_heap.set", [ No_alloc; Deterministic ]);
