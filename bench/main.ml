@@ -43,11 +43,11 @@ let flag_value name =
   !v
 
 (* --json PATH overrides the artifact destination; --smoke alone writes
-   the CI artifact BENCH_0006.json next to the working directory. *)
+   the CI artifact BENCH_0007.json next to the working directory. *)
 let json_path =
   match flag_value "--json" with
   | Some _ as p -> p
-  | None -> if smoke then Some "BENCH_0006.json" else None
+  | None -> if smoke then Some "BENCH_0007.json" else None
 
 let baseline_path = flag_value "--baseline"
 
@@ -313,6 +313,109 @@ let fused_tests =
        sweep_cell_counts)
 
 (* ------------------------------------------------------------------ *)
+(* Trace substrate: binary format, mmap open, dense index              *)
+(* ------------------------------------------------------------------ *)
+
+module Tbin = Ccache_trace.Trace_binary
+module Trace = Ccache_trace.Trace
+
+let substrate_len = 1_000_000
+let substrate_specs () = W.symmetric_zipf ~tenants:4 ~pages_per_tenant:4096 ~skew:0.9
+
+let temp_ctrace trace =
+  let path = Filename.temp_file "ccache_bench" ".ctrace" in
+  Tbin.write_file path trace;
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* prebuilt 1e6-request binary: the "open an existing trace" side of the
+   generate-vs-mmap comparison *)
+let substrate_file =
+  lazy
+    (temp_ctrace (W.generate ~seed:7 ~length:substrate_len (substrate_specs ())))
+
+(* the 20k fixture as a binary handle, for array-vs-Bigarray scans *)
+let fixture_handle =
+  lazy (Tbin.open_file (temp_ctrace (Lazy.force fixture_trace)))
+
+(* The Page.Tbl-based Index.build this PR replaced, replicated here so
+   the dense rewrite keeps an honest in-tree baseline to race against. *)
+let index_build_hashtbl trace =
+  let module PT = Ccache_trace.Page.Tbl in
+  let n = Trace.length trace in
+  let counts = PT.create 256 in
+  let last_pos = PT.create 256 in
+  let first_use = PT.create 256 in
+  let interval = Array.make n 0 in
+  let next_use = Array.make n Int.max_int in
+  let prev_use = Array.make n (-1) in
+  let distinct_upto = Array.make n 0 in
+  let distinct = ref 0 in
+  for pos = 0 to n - 1 do
+    let p = Trace.request trace pos in
+    let c = (match PT.find_opt counts p with Some c -> c | None -> 0) + 1 in
+    PT.replace counts p c;
+    interval.(pos) <- c;
+    (match PT.find_opt last_pos p with
+    | Some prev ->
+        next_use.(prev) <- pos;
+        prev_use.(pos) <- prev
+    | None ->
+        incr distinct;
+        PT.replace first_use p pos);
+    PT.replace last_pos p pos;
+    distinct_upto.(pos) <- !distinct
+  done;
+  (interval, next_use, prev_use, distinct_upto, counts, first_use)
+
+let substrate_tests =
+  let gen_1e6 () =
+    ignore
+      (Sys.opaque_identity
+         (W.generate ~seed:7 ~length:substrate_len (substrate_specs ())))
+  in
+  let mmap_open_1e6 () =
+    (* O(P) header+dictionary; the request region is mapped, not read *)
+    ignore (Sys.opaque_identity (Tbin.open_file (Lazy.force substrate_file)))
+  in
+  let mmap_materialize_1e6 () =
+    ignore
+      (Sys.opaque_identity (Tbin.to_trace (Tbin.open_file (Lazy.force substrate_file))))
+  in
+  let scan_boxed_20k () =
+    let requests = Trace.requests (Lazy.force fixture_trace) in
+    let acc = ref 0 in
+    for i = 0 to Array.length requests - 1 do
+      acc := !acc + Ccache_trace.Page.pack requests.(i)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let scan_bigarray_20k () =
+    let h = Lazy.force fixture_handle in
+    let acc = ref 0 in
+    for i = 0 to Tbin.length h - 1 do
+      acc := !acc + Tbin.dense_at h i
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let index_dense_20k () =
+    ignore (Sys.opaque_identity (Trace.Index.build (Lazy.force fixture_trace)))
+  in
+  let index_hashtbl_20k () =
+    ignore (Sys.opaque_identity (index_build_hashtbl (Lazy.force fixture_trace)))
+  in
+  Test.make_grouped ~name:"trace_substrate"
+    [
+      Test.make ~name:"gen_zipf_1e6" (Staged.stage gen_1e6);
+      Test.make ~name:"mmap_open_1e6" (Staged.stage mmap_open_1e6);
+      Test.make ~name:"mmap_materialize_1e6" (Staged.stage mmap_materialize_1e6);
+      Test.make ~name:"scan_boxed_20k" (Staged.stage scan_boxed_20k);
+      Test.make ~name:"scan_bigarray_20k" (Staged.stage scan_bigarray_20k);
+      Test.make ~name:"index_build_dense_20k" (Staged.stage index_dense_20k);
+      Test.make ~name:"index_build_hashtbl_20k" (Staged.stage index_hashtbl_20k);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -440,6 +543,37 @@ let run_parallel_group () =
   print_speedups rows;
   print_newline ()
 
+let run_substrate_group () =
+  Printf.printf "== trace substrate (binary format, mmap, dense index) ==\n%!";
+  (* force the prebuilt-file fixtures before timing starts: the lazy
+     generate+write otherwise lands inside the first timed run and
+     dominates a smoke-sized sample *)
+  ignore (Lazy.force substrate_file);
+  ignore (Lazy.force fixture_handle);
+  let rows = report ~requests_per_run:None (analyze (benchmark substrate_tests)) in
+  recorded := ("trace substrate", rows) :: !recorded;
+  let find suffix =
+    List.find_map
+      (fun (name, ns) ->
+        let n = String.length name and s = String.length suffix in
+        if n >= s && String.sub name (n - s) s = suffix && not (Float.is_nan ns)
+        then Some ns
+        else None)
+      rows
+  in
+  let ratio label num den =
+    match (find num, find den) with
+    | Some slow, Some fast when fast > 0.0 ->
+        Printf.printf "  %-42s %11.2fx\n" label (slow /. fast)
+    | _ -> ()
+  in
+  ratio "mmap open vs regeneration (1e6)" "/gen_zipf_1e6" "/mmap_open_1e6";
+  ratio "mmap materialize vs regeneration (1e6)" "/gen_zipf_1e6"
+    "/mmap_materialize_1e6";
+  ratio "dense vs hashtable Index.build (20k)" "/index_build_hashtbl_20k"
+    "/index_build_dense_20k";
+  print_newline ()
+
 (* The artifact records every OLS point estimate the run printed.
    Schema: {"harness","mode","unit","estimator","groups":[{"title",
    "rows":[{"name","ns_per_run"}]}]} — numbers via Obs_json.num, so a
@@ -556,6 +690,7 @@ let () =
   run_group ~requests_per_run:trace_len "ALG-DISCRETE fast vs reference" fast_vs_ref_tests;
   run_fused_group ();
   run_parallel_group ();
+  run_substrate_group ();
   Option.iter write_json json_path;
   let regressions =
     match baseline_path with

@@ -38,6 +38,29 @@ let make_workload ~workload ~tenants ~pages ~skew ~seed ~length =
         (List.init tenants (fun _ -> W.tenant (W.Uniform { pages })))
   | other -> Fmt.failwith "unknown workload %S (zipf|sqlvm|cycle|uniform)" other
 
+(* Malformed trace input is a usage error: report and exit 2 (matching
+   cmdliner's convention), never a backtrace. *)
+let with_trace_errors f =
+  try f () with
+  | Ccache_trace.Trace_io.Parse_error { line; msg } ->
+      Fmt.epr "trace parse error at line %d: %s@." line msg;
+      exit 2
+  | Ccache_trace.Trace_binary.Format_error { offset; msg } ->
+      Fmt.epr "binary trace error at byte %d: %s@." offset msg;
+      exit 2
+  | Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+
+(* "-" = stdin; format sniffed (binary .ctrace vs text). *)
+let load_trace path =
+  with_trace_errors (fun () ->
+      match path with
+      | "-" -> Ccache_trace.Trace_io.of_string_any (In_channel.input_all stdin)
+      | path -> Ccache_trace.Trace_io.read_any path)
+
+let set_trace_cache dir = Ccache_trace.Trace_cache.set_dir dir
+
 let make_costs ~cost n =
   match cost with
   | "linear" -> Array.init n (fun _ -> Cf.linear ~slope:1.0 ())
@@ -55,16 +78,17 @@ let make_costs ~cost n =
 (* --- run command --- *)
 
 let run_cmd policy_name trace_file workload tenants pages skew seed length k cost
-    flush trace_out metrics_out =
+    flush trace_cache trace_out metrics_out =
   match find_policy policy_name with
   | None ->
       Fmt.epr "unknown policy %S; try the 'list' command@." policy_name;
       2
   | Some policy ->
+      set_trace_cache trace_cache;
       let obs = Obs_args.setup ~trace_out ~metrics_out in
       let trace =
         match trace_file with
-        | Some path -> Ccache_trace.Trace_io.read_file path
+        | Some path -> load_trace path
         | None -> make_workload ~workload ~tenants ~pages ~skew ~seed ~length
       in
       let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
@@ -75,21 +99,29 @@ let run_cmd policy_name trace_file workload tenants pages skew seed length k cos
 
 (* --- gen command --- *)
 
-let gen_cmd workload tenants pages skew seed length out =
+let gen_cmd workload tenants pages skew seed length binary out trace_cache =
+  set_trace_cache trace_cache;
   let trace = make_workload ~workload ~tenants ~pages ~skew ~seed ~length in
+  let write_file, to_string =
+    if binary then
+      (Ccache_trace.Trace_binary.write_file, Ccache_trace.Trace_binary.to_string)
+    else (Ccache_trace.Trace_io.write_file, Ccache_trace.Trace_io.to_string)
+  in
   (match out with
   | Some path ->
-      Ccache_trace.Trace_io.write_file path trace;
+      write_file path trace;
       Fmt.pr "wrote %d requests to %s@." (Ccache_trace.Trace.length trace) path
-  | None -> print_string (Ccache_trace.Trace_io.to_string trace));
+  | None -> print_string (to_string trace));
   0
 
 (* --- certify command --- *)
 
-let certify_cmd trace_file workload tenants pages skew seed length k cost iters =
+let certify_cmd trace_file workload tenants pages skew seed length k cost iters
+    trace_cache =
+  set_trace_cache trace_cache;
   let trace =
     match trace_file with
-    | Some path -> Ccache_trace.Trace_io.read_file path
+    | Some path -> load_trace path
     | None -> make_workload ~workload ~tenants ~pages ~skew ~seed ~length
   in
   let costs = make_costs ~cost (Ccache_trace.Trace.n_users trace) in
@@ -160,7 +192,8 @@ let parse_fault ~chaos ~kill =
    count. *)
 let sweep_cmd policy_names workload tenants pages skew seed length k_min k_max
     k_factor cost flush jobs timeout retries backoff chaos kill checkpoint_path
-    resume trace_out metrics_out =
+    resume trace_cache trace_out metrics_out =
+  set_trace_cache trace_cache;
   let obs = Obs_args.setup ~trace_out ~metrics_out in
   if jobs < 0 then begin
     Fmt.epr "--jobs must be >= 0@.";
@@ -312,7 +345,8 @@ module Serve = Ccache_serve
    --checkpoint/--resume replay finished shards bit-for-bit. *)
 let serve_cmd policy_name trace_file workload tenants pages skew seed length k
     cost shards batch queue_cap clients rate route overload jobs timeout
-    retries backoff chaos kill checkpoint_path resume trace_out metrics_out =
+    retries backoff chaos kill checkpoint_path resume trace_cache trace_out
+    metrics_out =
   match find_policy policy_name with
   | None ->
       Fmt.epr "unknown policy %S; try the 'list' command@." policy_name;
@@ -338,11 +372,11 @@ let serve_cmd policy_name trace_file workload tenants pages skew seed length k
         Fmt.epr "--retries must be >= 0@.";
         exit 2
       end;
+      set_trace_cache trace_cache;
       let obs = Obs_args.setup ~trace_out ~metrics_out in
       let trace =
         match trace_file with
-        | Some "-" -> Ccache_trace.Trace_io.of_string (In_channel.input_all stdin)
-        | Some path -> Ccache_trace.Trace_io.read_file path
+        | Some path -> load_trace path
         | None -> make_workload ~workload ~tenants ~pages ~skew ~seed ~length
       in
       let n_users = Ccache_trace.Trace.n_users trace in
@@ -484,6 +518,105 @@ let serve_cmd policy_name trace_file workload tenants pages skew seed length k
           | None -> ());
           3)
 
+(* --- trace command group --- *)
+
+module Tio = Ccache_trace.Trace_io
+module Tbin = Ccache_trace.Trace_binary
+module Text = Ccache_trace.Trace_extern
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Format sniffing for 'trace convert --format auto': binary magic,
+   then the text header, else the R/W address format. *)
+let parse_input ~format ~page_shift s =
+  match format with
+  | "auto" ->
+      if Tbin.looks_binary s then Tbin.of_string s
+      else if
+        String.split_on_char '\n' s |> function
+        | first :: _ -> String.trim first = Tio.magic
+        | [] -> false
+      then Tio.of_string s
+      else Text.of_string_rw ~page_shift s
+  | "binary" -> Tbin.of_string s
+  | "text" -> Tio.of_string s
+  | other -> (
+      match Text.format_of_string other with
+      | Some fmt -> Text.of_string ~page_shift fmt s
+      | None ->
+          Fmt.epr "unknown trace format %S (auto|binary|text|rw|lackey)@." other;
+          exit 2)
+
+let trace_convert_cmd in_file format page_shift text out =
+  with_trace_errors @@ fun () ->
+  if page_shift < 0 || page_shift > 62 then begin
+    Fmt.epr "--page-shift must be in [0, 62]@.";
+    exit 2
+  end;
+  let trace = parse_input ~format ~page_shift (read_input in_file) in
+  let write_file, to_string =
+    if text then (Tio.write_file, Tio.to_string)
+    else (Tbin.write_file, Tbin.to_string)
+  in
+  (match out with
+  | Some path ->
+      write_file path trace;
+      Fmt.epr "wrote %d requests (%d users, %d distinct pages) to %s@."
+        (Ccache_trace.Trace.length trace)
+        (Ccache_trace.Trace.n_users trace)
+        (Ccache_trace.Trace.n_pages trace)
+        path
+  | None -> print_string (to_string trace));
+  0
+
+let trace_stat_cmd in_file =
+  with_trace_errors @@ fun () ->
+  (* binary stat is O(P): header + dictionary only, never the T requests *)
+  if in_file <> "-" && Tbin.file_looks_binary in_file then begin
+    let h = Tbin.open_file in_file in
+    Fmt.pr "format binary@.requests %d@.users %d@.distinct %d@." (Tbin.length h)
+      (Tbin.n_users h) (Tbin.n_pages h)
+  end
+  else begin
+    let s = read_input in_file in
+    let trace = if Tbin.looks_binary s then Tbin.of_string s else Tio.of_string s in
+    Fmt.pr "format %s@.requests %d@.users %d@.distinct %d@."
+      (if Tbin.looks_binary s then "binary" else "text")
+      (Ccache_trace.Trace.length trace)
+      (Ccache_trace.Trace.n_users trace)
+      (Ccache_trace.Trace.n_pages trace)
+  end;
+  0
+
+let trace_head_cmd in_file n =
+  with_trace_errors @@ fun () ->
+  if in_file <> "-" && Tbin.file_looks_binary in_file then begin
+    (* zero-copy path: decode just the first n requests off the mmap *)
+    let h = Tbin.open_file in_file in
+    for i = 0 to Stdlib.min n (Tbin.length h) - 1 do
+      let p = Tbin.page_at h i in
+      Fmt.pr "%d %d@."
+        (Ccache_trace.Page.user p)
+        (Ccache_trace.Page.id p)
+    done
+  end
+  else begin
+    let trace = Tio.of_string_any (read_input in_file) in
+    for i = 0 to Stdlib.min n (Ccache_trace.Trace.length trace) - 1 do
+      let p = Ccache_trace.Trace.request trace i in
+      Fmt.pr "%d %d@."
+        (Ccache_trace.Page.user p)
+        (Ccache_trace.Page.id p)
+    done
+  end;
+  0
+
 (* --- list command --- *)
 
 let list_cmd () =
@@ -512,6 +645,54 @@ let cost_arg = Arg.(value & opt string "x2" & info [ "cost" ])
 let flush_arg = Arg.(value & flag & info [ "flush" ])
 let out_arg = Arg.(value & opt (some string) None & info [ "out" ])
 let iters_arg = Arg.(value & opt int 80 & info [ "iterations" ])
+
+let binary_arg =
+  Arg.(
+    value & flag
+    & info [ "binary" ]
+        ~doc:"Write the zero-copy binary .ctrace format instead of text.")
+
+let trace_cache_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-cache" ] ~docv:"DIR"
+        ~doc:
+          "Cache generated workload traces as .ctrace binaries under \
+           $(docv), keyed by a fingerprint of (seed, length, tenant \
+           specs); repeated runs mmap the stored trace instead of \
+           regenerating it.  Byte-identical results either way.")
+
+let trace_in_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Input trace file ('-' = stdin).")
+
+let trace_format_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Input format: 'auto' (sniff binary magic, then the text \
+           header, else rw), 'binary', 'text', 'rw' (R/W 0xADDR lines), \
+           or 'lackey' (valgrind --tool=lackey --trace-mem dumps).")
+
+let page_shift_arg =
+  Arg.(
+    value & opt int Ccache_trace.Trace_extern.default_page_shift
+    & info [ "page-shift" ] ~docv:"N"
+        ~doc:
+          "Map addresses to pages by shifting right $(docv) bits \
+           (default 12 = 4 KiB pages; rw/lackey formats only).")
+
+let text_out_arg =
+  Arg.(
+    value & flag
+    & info [ "text" ] ~doc:"Write the text format instead of binary .ctrace.")
+
+let head_n_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "n"; "lines" ] ~docv:"N" ~doc:"Requests to print (default 10).")
 
 let policies_arg =
   Arg.(
@@ -648,25 +829,26 @@ let run_term =
   Term.(
     const run_cmd $ policy_arg $ trace_arg $ workload_arg $ tenants_arg
     $ pages_arg $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ flush_arg
-    $ trace_out_arg $ metrics_out_arg)
+    $ trace_cache_arg $ trace_out_arg $ metrics_out_arg)
 
 let certify_term =
   Term.(
     const certify_cmd $ trace_arg $ workload_arg $ tenants_arg $ pages_arg
-    $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ iters_arg)
+    $ skew_arg $ seed_arg $ length_arg $ k_arg $ cost_arg $ iters_arg
+    $ trace_cache_arg)
 
 let gen_term =
   Term.(
     const gen_cmd $ workload_arg $ tenants_arg $ pages_arg $ skew_arg $ seed_arg
-    $ length_arg $ out_arg)
+    $ length_arg $ binary_arg $ out_arg $ trace_cache_arg)
 
 let sweep_term =
   Term.(
     const sweep_cmd $ policies_arg $ workload_arg $ tenants_arg $ pages_arg
     $ skew_arg $ seed_arg $ length_arg $ k_min_arg $ k_max_arg $ k_factor_arg
     $ cost_arg $ flush_arg $ jobs_arg $ timeout_arg $ retries_arg $ backoff_arg
-    $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg $ trace_out_arg
-    $ metrics_out_arg)
+    $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg $ trace_cache_arg
+    $ trace_out_arg $ metrics_out_arg)
 
 let serve_term =
   Term.(
@@ -675,7 +857,34 @@ let serve_term =
     $ shards_arg $ batch_arg $ queue_cap_arg $ clients_arg $ rate_arg
     $ route_arg $ overload_arg $ jobs_arg $ timeout_arg $ retries_arg
     $ backoff_arg $ chaos_arg $ kill_arg $ checkpoint_arg $ resume_arg
-    $ trace_out_arg $ metrics_out_arg)
+    $ trace_cache_arg $ trace_out_arg $ metrics_out_arg)
+
+let trace_cmd_group =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Inspect and convert trace files (text, binary .ctrace, external \
+          address formats)")
+    [
+      Cmd.v
+        (Cmd.info "convert"
+           ~doc:
+             "Convert a trace (text, R/W address lines, valgrind-lackey \
+              dump) to the zero-copy binary .ctrace format (or, with \
+              --text, to the text format)")
+        Term.(
+          const trace_convert_cmd $ trace_in_arg $ trace_format_arg
+          $ page_shift_arg $ text_out_arg $ out_arg);
+      Cmd.v
+        (Cmd.info "stat"
+           ~doc:
+             "Print request/user/distinct-page counts (O(1) in the trace \
+              length for binary files)")
+        Term.(const trace_stat_cmd $ trace_in_arg);
+      Cmd.v
+        (Cmd.info "head" ~doc:"Print the first N requests as 'user page' lines")
+        Term.(const trace_head_cmd $ trace_in_arg $ head_n_arg);
+    ]
 
 let cmd =
   Cmd.group
@@ -689,6 +898,7 @@ let cmd =
               (deterministic logical-clock replay)")
         serve_term;
       Cmd.v (Cmd.info "gen" ~doc:"Generate a trace file") gen_term;
+      trace_cmd_group;
       Cmd.v
         (Cmd.info "sweep"
            ~doc:"Sweep policies across cache sizes, optionally in parallel")

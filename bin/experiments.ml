@@ -86,12 +86,13 @@ let pp_event ppf = function
       Fmt.pf ppf "[supervisor] %s: replayed from checkpoint" task
 
 let run full quick markdown jobs fused timeout retries backoff jitter chaos
-    kill checkpoint_path resume trace_out metrics_out ids =
+    kill checkpoint_path resume trace_cache trace_out metrics_out ids =
   if full && quick then begin
     Fmt.epr "--full and --quick are mutually exclusive@.";
     exit 2
   end;
   Ccache_sim.Sweep.set_fused fused;
+  Ccache_trace.Trace_cache.set_dir trace_cache;
   let size = if full then A.Experiment.Full else A.Experiment.Quick in
   let fmt = if markdown then A.Report.Markdown else A.Report.Text in
   let specs =
@@ -257,6 +258,15 @@ let resume =
            bit-for-bit and compute only the rest.  Refuses a checkpoint \
            written by a different configuration.")
 
+let trace_cache =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-cache" ] ~docv:"DIR"
+        ~doc:
+          "Cache generated workload traces as .ctrace binaries under \
+           $(docv); repeated runs mmap the stored traces instead of \
+           regenerating them.  The report is byte-identical either way.")
+
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e14).")
 
@@ -268,7 +278,7 @@ let cmd =
     (Cmd.info "experiments" ~doc:"Reproduce the convex-caching experiment suite")
     Term.(
       const run $ full $ quick $ markdown $ jobs $ fused $ timeout $ retries
-      $ backoff $ jitter $ chaos $ kill $ checkpoint $ resume $ trace_out
-      $ metrics_out $ ids)
+      $ backoff $ jitter $ chaos $ kill $ checkpoint $ resume $ trace_cache
+      $ trace_out $ metrics_out $ ids)
 
 let () = exit (Cmd.eval' cmd)

@@ -95,6 +95,9 @@ module Step = struct
   type t = {
     policy : Policy.t;
     trace : Trace.t;
+    requests : Page.t array;
+        (** [Trace.requests trace], hoisted so the per-request hot loop
+            indexes a local array instead of re-entering [Trace] *)
     k : int;
     real_users : int;
     h : Policy.handlers;
@@ -130,6 +133,7 @@ module Step = struct
     {
       policy;
       trace;
+      requests = Trace.requests trace;
       k;
       real_users;
       h;
@@ -206,7 +210,7 @@ module Step = struct
     end
     [@@effects.no_alloc] [@@effects.deterministic]
 
-  let step t pos = apply t pos (Trace.request t.trace pos)
+  let step t pos = apply t pos t.requests.(pos)
     [@@effects.no_alloc] [@@effects.deterministic]
 
   let feed t page = apply t t.fed page

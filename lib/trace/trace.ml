@@ -11,48 +11,158 @@
 
     [Index.build] precomputes all of these in O(T) once per trace.
     Positions are 0-based throughout the code base; the paper's t runs
-    from 1, so position [t-1] here corresponds to the paper's time t. *)
+    from 1, so position [t-1] here corresponds to the paper's time t.
+
+    Dense interning: every trace carries (computed on first demand) a
+    remap of its distinct pages onto the dense range [0, P) in
+    first-touch order — [dense.(pos)] is the rank of the page requested
+    at [pos], [pages.(d)] recovers the page.  The remap is what lets
+    {!Index.build} run on flat int arrays instead of [Page.Tbl]
+    hashtables, and it is the on-disk vocabulary of the binary trace
+    format ({!Trace_binary}).  The structure is immutable once built
+    and published through an [Atomic.t], so traces stay safely sharable
+    across domains. *)
+
+type interning = {
+  dense : int array;  (** [dense.(pos)] = first-touch rank of the page at [pos] *)
+  pages : Page.t array;  (** [pages.(d)] = page with dense id [d]; first-touch order *)
+  dense_of : Ccache_util.Int_tbl.t;
+      (** packed page -> dense id; read-only once published *)
+}
 
 type t = {
   requests : Page.t array;
   n_users : int;
+  interning : interning option Atomic.t;
+      (** built on first demand; both racing domains compute the same
+          value, and the atomic publish keeps the record safely visible *)
 }
 
 let length t = Array.length t.requests
 let n_users t = t.n_users
+
 let request t pos = t.requests.(pos)
+  [@@effects.no_alloc] [@@effects.deterministic]
+
 let requests t = t.requests
 
-let of_pages ~n_users pages =
-  if n_users <= 0 then invalid_arg "Trace.of_pages: need at least one user";
+(* One O(T) pass: first-touch ranks via the open-addressing int table
+   (packed pages are non-negative ints, so they key it directly). *)
+let compute_interning requests =
+  let n = Array.length requests in
+  let dense_of = Ccache_util.Int_tbl.create ~capacity:256 () in
+  let dense = Array.make n 0 in
+  let rev_pages = ref [] in
+  let next = ref 0 in
+  for pos = 0 to n - 1 do
+    let key = Page.pack requests.(pos) in
+    let d = Ccache_util.Int_tbl.find_default dense_of key ~default:(-1) in
+    if d >= 0 then dense.(pos) <- d
+    else begin
+      Ccache_util.Int_tbl.set dense_of key !next;
+      dense.(pos) <- !next;
+      rev_pages := requests.(pos) :: !rev_pages;
+      incr next
+    end
+  done;
+  let pages = Array.make !next (Page.make ~user:0 ~id:0) in
+  List.iteri (fun i p -> pages.(!next - 1 - i) <- p) !rev_pages;
+  { dense; pages; dense_of }
+
+let interning t =
+  match Atomic.get t.interning with
+  | Some i -> i
+  | None ->
+      let i = compute_interning t.requests in
+      Atomic.set t.interning (Some i);
+      i
+
+let n_pages t = Array.length (interning t).pages
+let dense t = (interning t).dense
+let page_of_dense t d = (interning t).pages.(d)
+
+let dense_of_page t page =
+  let d =
+    Ccache_util.Int_tbl.find_default (interning t).dense_of (Page.pack page)
+      ~default:(-1)
+  in
+  if d >= 0 then Some d else None
+
+let check_users ~n_users pages =
   Array.iter
     (fun p ->
       if Page.user p < 0 || Page.user p >= n_users then
         invalid_arg
           (Printf.sprintf "Trace.of_pages: page %s outside user range [0,%d)"
              (Page.to_string p) n_users))
-    pages;
-  { requests = Array.copy pages; n_users }
+    pages
+
+let of_pages ~n_users pages =
+  if n_users <= 0 then invalid_arg "Trace.of_pages: need at least one user";
+  check_users ~n_users pages;
+  { requests = Array.copy pages; n_users; interning = Atomic.make None }
 
 let of_list ~n_users pages = of_pages ~n_users (Array.of_list pages)
+
+(** Rebuild a trace from its interned form (the binary format's
+    vocabulary): [pages] in first-touch order, [dense] the per-position
+    ranks.  Validates that the remap is well-formed — ranks in [0, P),
+    first occurrences in increasing rank order, distinct pages — so a
+    crafted file cannot smuggle in a trace whose [distinct_pages] order
+    disagrees with its request sequence. *)
+let of_dense ~n_users ~pages ~dense =
+  if n_users <= 0 then invalid_arg "Trace.of_dense: need at least one user";
+  check_users ~n_users pages;
+  let p = Array.length pages in
+  let n = Array.length dense in
+  let requests = Array.make n (Page.make ~user:0 ~id:0) in
+  let seen = ref 0 in
+  for pos = 0 to n - 1 do
+    let d = dense.(pos) in
+    if d < 0 || d >= p then
+      invalid_arg
+        (Printf.sprintf "Trace.of_dense: rank %d outside [0,%d) at position %d"
+           d p pos);
+    if d > !seen then
+      invalid_arg
+        (Printf.sprintf
+           "Trace.of_dense: rank %d at position %d before rank %d appeared"
+           d pos !seen)
+    else if d = !seen then incr seen;
+    requests.(pos) <- pages.(d)
+  done;
+  if !seen <> p then
+    invalid_arg
+      (Printf.sprintf "Trace.of_dense: %d of %d pages never requested"
+         (p - !seen) p);
+  let dense_of = Ccache_util.Int_tbl.create ~capacity:(2 * p) () in
+  Array.iteri
+    (fun d page ->
+      let key = Page.pack page in
+      if Ccache_util.Int_tbl.mem dense_of key then
+        invalid_arg
+          (Printf.sprintf "Trace.of_dense: duplicate page %s"
+             (Page.to_string page));
+      Ccache_util.Int_tbl.set dense_of key d)
+    pages;
+  {
+    requests;
+    n_users;
+    interning =
+      Atomic.make (Some { dense = Array.copy dense; pages = Array.copy pages; dense_of });
+  }
 
 (** Concatenate traces over the same user universe. *)
 let append a b =
   if a.n_users <> b.n_users then invalid_arg "Trace.append: user-count mismatch";
-  { requests = Array.append a.requests b.requests; n_users = a.n_users }
+  {
+    requests = Array.append a.requests b.requests;
+    n_users = a.n_users;
+    interning = Atomic.make None;
+  }
 
-(** Distinct pages, in first-touch order. *)
-let distinct_pages t =
-  let seen = Page.Tbl.create 256 in
-  let acc = ref [] in
-  Array.iter
-    (fun p ->
-      if not (Page.Tbl.mem seen p) then begin
-        Page.Tbl.add seen p ();
-        acc := p :: !acc
-      end)
-    t.requests;
-  List.rev !acc
+(** Distinct pages, in first-touch order (the interning vocabulary). *)
+let distinct_pages t = Array.to_list (interning t).pages
 
 (** Append the paper's terminal flush: a dummy user owning [k] fresh
     pages, all requested once at the end, forcing every real page out of
@@ -61,11 +171,20 @@ let distinct_pages t =
 let with_flush ~k t =
   if k <= 0 then invalid_arg "Trace.with_flush: k must be positive";
   let dummy = Array.init k (fun i -> Page.make ~user:t.n_users ~id:i) in
-  { requests = Array.append t.requests dummy; n_users = t.n_users + 1 }
+  {
+    requests = Array.append t.requests dummy;
+    n_users = t.n_users + 1;
+    interning = Atomic.make None;
+  }
 
 module Index = struct
   type trace = t
 
+  (* All per-position vectors are flat int arrays; the per-page vectors
+     (request totals, first positions) are flat arrays over the dense
+     page space — no hashtable is touched after the trace's one-off
+     interning pass, and page-keyed queries translate through the
+     interning's int table. *)
   type t = {
     trace : trace;
     interval : int array;
@@ -78,57 +197,82 @@ module Index = struct
         (** position of the previous request of the same page, or [-1]. *)
     distinct_upto : int array;
         (** [distinct_upto.(pos)] = |B(t)| after including this request. *)
-    total_requests : int Page.Tbl.t;  (** r(p,T) per page *)
-    first_use : int Page.Tbl.t;  (** first position of each page *)
+    counts : int array;  (** r(p,T) per dense page id *)
+    first_pos : int array;  (** first position of each dense page id *)
   }
 
   let build trace =
+    let inter = interning trace in
+    let dense = inter.dense in
+    let p = Array.length inter.pages in
     let n = Array.length trace.requests in
     let interval = Array.make n 0 in
     let next_use = Array.make n Int.max_int in
     let prev_use = Array.make n (-1) in
     let distinct_upto = Array.make n 0 in
-    let counts = Page.Tbl.create 256 in
-    let last_pos = Page.Tbl.create 256 in
-    let first_use = Page.Tbl.create 256 in
+    let counts = Array.make p 0 in
+    let last_pos = Array.make p (-1) in
+    let first_pos = Array.make p (-1) in
     let distinct = ref 0 in
     for pos = 0 to n - 1 do
-      let p = trace.requests.(pos) in
-      let c = Option.value (Page.Tbl.find_opt counts p) ~default:0 in
-      Page.Tbl.replace counts p (c + 1);
-      interval.(pos) <- c + 1;
-      (match Page.Tbl.find_opt last_pos p with
-      | Some prev ->
-          next_use.(prev) <- pos;
-          prev_use.(pos) <- prev
-      | None ->
-          incr distinct;
-          Page.Tbl.add first_use p pos);
-      Page.Tbl.replace last_pos p pos;
-      distinct_upto.(pos) <- !distinct
+      let d = Array.unsafe_get dense pos in
+      let c = Array.unsafe_get counts d in
+      Array.unsafe_set counts d (c + 1);
+      Array.unsafe_set interval pos (c + 1);
+      let prev = Array.unsafe_get last_pos d in
+      if prev >= 0 then begin
+        Array.unsafe_set next_use prev pos;
+        Array.unsafe_set prev_use pos prev
+      end
+      else begin
+        incr distinct;
+        Array.unsafe_set first_pos d pos
+      end;
+      Array.unsafe_set last_pos d pos;
+      Array.unsafe_set distinct_upto pos !distinct
     done;
-    { trace; interval; next_use; prev_use; distinct_upto; total_requests = counts; first_use }
+    { trace; interval; next_use; prev_use; distinct_upto; counts; first_pos }
 
-    let trace t = t.trace
-    let length t = Array.length t.trace.requests
+  let trace t = t.trace
+  let length t = Array.length t.trace.requests
 
-    (** j(p, pos): which interval of page p the position falls in. *)
-    let interval_index t pos = t.interval.(pos)
+  (** j(p, pos): which interval of page p the position falls in. *)
+  let interval_index t pos = t.interval.(pos)
+    [@@effects.no_alloc] [@@effects.deterministic]
 
-    let next_use t pos = t.next_use.(pos)
-    let prev_use t pos = t.prev_use.(pos)
-    let distinct_upto t pos = t.distinct_upto.(pos)
+  let next_use t pos = t.next_use.(pos)
+    [@@effects.no_alloc] [@@effects.deterministic]
 
-    (** r(p, T): total number of requests of [page] in the whole trace. *)
-    let total_requests t page =
-      Option.value (Page.Tbl.find_opt t.total_requests page) ~default:0
+  let prev_use t pos = t.prev_use.(pos)
+    [@@effects.no_alloc] [@@effects.deterministic]
 
-    let first_use t page = Page.Tbl.find_opt t.first_use page
+  let distinct_upto t pos = t.distinct_upto.(pos)
+    [@@effects.no_alloc] [@@effects.deterministic]
 
-    (** Is [pos] the last request of its page? *)
-    let is_last_request t pos = t.next_use.(pos) = Int.max_int
+  (* page-keyed queries: one int-table probe to enter the dense space *)
+  let dense_id t page =
+    Ccache_util.Int_tbl.find_default
+      (match Atomic.get t.trace.interning with
+      | Some i -> i.dense_of
+      | None -> assert false (* build forced the interning *))
+      (Page.pack page) ~default:(-1)
+    [@@effects.no_alloc] [@@effects.deterministic]
+
+  (** r(p, T): total number of requests of [page] in the whole trace. *)
+  let total_requests t page =
+    let d = dense_id t page in
+    if d >= 0 then t.counts.(d) else 0
+    [@@effects.no_alloc] [@@effects.deterministic]
+
+  let first_use t page =
+    let d = dense_id t page in
+    if d >= 0 then Some t.first_pos.(d) else None
+
+  (** Is [pos] the last request of its page? *)
+  let is_last_request t pos = t.next_use.(pos) = Int.max_int
+    [@@effects.no_alloc] [@@effects.deterministic]
 end
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>trace: T=%d users=%d distinct=%d@]" (length t) t.n_users
-    (List.length (distinct_pages t))
+    (n_pages t)

@@ -24,6 +24,37 @@ val of_pages : n_users:int -> Page.t array -> t
 
 val of_list : n_users:int -> Page.t list -> t
 
+val of_dense : n_users:int -> pages:Page.t array -> dense:int array -> t
+(** Rebuild a trace from its interned form: [pages] lists the distinct
+    pages in first-touch order, [dense.(pos)] is the rank (index into
+    [pages]) of the request at [pos].  This is the in-memory mirror of
+    the binary trace format ({!Trace_binary}).  Copies both arrays.
+    @raise Invalid_argument if the remap is not well-formed: a rank out
+    of range, first occurrences out of rank order, a page listed but
+    never requested, duplicate pages, or a user outside
+    [\[0, n_users)]. *)
+
+(** {1 Dense page interning}
+
+    Every trace lazily carries a remap of its distinct pages onto the
+    dense range [\[0, P)] in first-touch order.  The remap is computed
+    once on first demand (thread-safely; traces stay sharable across
+    domains) and backs both {!Index.build}'s flat-array index and the
+    binary trace format. *)
+
+val n_pages : t -> int
+(** Number of distinct pages, P. *)
+
+val dense : t -> int array
+(** Per-position dense ids: [dense t] has one entry per request, each
+    in [\[0, n_pages t)] (do not mutate). *)
+
+val page_of_dense : t -> int -> Page.t
+(** Page with the given dense id (its first-touch rank). *)
+
+val dense_of_page : t -> Page.t -> int option
+(** Dense id of a page, or [None] if the trace never requests it. *)
+
 val append : t -> t -> t
 (** Concatenation; both traces must agree on [n_users]. *)
 

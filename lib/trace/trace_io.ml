@@ -37,9 +37,9 @@ let to_string trace =
     (Trace.requests trace);
   Buffer.contents buf
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; msg : string }
 
-let parse_error line message = raise (Parse_error { line; message })
+let parse_error line msg = raise (Parse_error { line; msg })
 
 let is_comment line = String.length line > 0 && line.[0] = '#'
 
@@ -94,3 +94,15 @@ let read_file path =
          done
        with End_of_file -> ());
       of_string (Buffer.contents buf))
+
+(* {2 Format auto-dispatch} *)
+
+(* Binary-or-text sniffing: everything the CLI loads goes through these
+   so users never have to say which format a trace file is in. *)
+
+let of_string_any s =
+  if Trace_binary.looks_binary s then Trace_binary.of_string s else of_string s
+
+let read_any path =
+  if Trace_binary.file_looks_binary path then Trace_binary.read_file path
+  else read_file path

@@ -11,7 +11,9 @@
 val magic : string
 (** The mandatory first line. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; msg : string }
+(** Malformed text input; [line] is 1-based (0 for whole-input
+    problems such as a missing [users] directive). *)
 
 val to_string : Trace.t -> string
 val of_string : string -> Trace.t
@@ -20,3 +22,11 @@ val of_string : string -> Trace.t
 val write_channel : out_channel -> Trace.t -> unit
 val write_file : string -> Trace.t -> unit
 val read_file : string -> Trace.t
+
+val of_string_any : string -> Trace.t
+(** Sniff the format: binary [.ctrace] if the {!Trace_binary.magic}
+    bytes lead, the text format otherwise.
+    @raise Parse_error / @raise Trace_binary.Format_error accordingly. *)
+
+val read_any : string -> Trace.t
+(** File counterpart of {!of_string_any}. *)

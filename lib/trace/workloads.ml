@@ -120,6 +120,32 @@ type tenant_spec = {
   weight : float;  (** relative request rate of this tenant *)
 }
 
+(* Canonical fingerprint of a (seed, length, specs) triple for the
+   on-disk trace cache.  Floats render with %h (exact bit pattern), so
+   two spec values collide iff generation would be identical. *)
+let rec pattern_fingerprint = function
+  | Uniform { pages } -> Printf.sprintf "uniform(%d)" pages
+  | Zipf { pages; skew } -> Printf.sprintf "zipf(%d,%h)" pages skew
+  | Cycle { pages } -> Printf.sprintf "cycle(%d)" pages
+  | Sequential_scan { pages; passes } -> Printf.sprintf "scan(%d,%d)" pages passes
+  | Hot_cold { pages; hot_pages; hot_prob } ->
+      Printf.sprintf "hotcold(%d,%d,%h)" pages hot_pages hot_prob
+  | Drifting_zipf { pages; window; skew; shift_every } ->
+      Printf.sprintf "drift(%d,%d,%h,%d)" pages window skew shift_every
+  | Mixture parts ->
+      Printf.sprintf "mix[%s]"
+        (String.concat ";"
+           (List.map
+              (fun (w, p) -> Printf.sprintf "%h*%s" w (pattern_fingerprint p))
+              parts))
+
+let fingerprint ~seed ~length specs =
+  Printf.sprintf "workload-v1 seed=%d length=%d tenants=[%s]" seed length
+    (String.concat ";"
+       (List.map
+          (fun s -> Printf.sprintf "%h:%s" s.weight (pattern_fingerprint s.pattern))
+          specs))
+
 let tenant ?(weight = 1.0) pattern =
   require_finite ~field:"tenant weight" weight;
   if weight <= 0.0 then invalid_arg "Workloads.tenant: weight must be positive";
@@ -131,19 +157,24 @@ let tenant ?(weight = 1.0) pattern =
 let generate ~seed ~length specs =
   if specs = [] then invalid_arg "Workloads.generate: no tenants";
   if length < 0 then invalid_arg "Workloads.generate: negative length";
-  let rng = Ccache_util.Prng.create ~seed in
-  let specs = Array.of_list specs in
-  let n_users = Array.length specs in
-  let weights = Array.map (fun s -> s.weight) specs in
-  let samplers =
-    Array.map (fun s -> make_sampler s.pattern (Ccache_util.Prng.split rng)) specs
-  in
-  let requests =
-    Array.init length (fun _ ->
-        let u = Ccache_util.Prng.categorical rng ~weights in
-        Page.make ~user:u ~id:(samplers.(u) ()))
-  in
-  Trace.of_pages ~n_users requests
+  (* generation is a pure function of (seed, length, specs), which is
+     exactly what makes the on-disk memoisation sound *)
+  Trace_cache.memoize ~fingerprint:(fingerprint ~seed ~length specs) (fun () ->
+      let rng = Ccache_util.Prng.create ~seed in
+      let specs = Array.of_list specs in
+      let n_users = Array.length specs in
+      let weights = Array.map (fun s -> s.weight) specs in
+      let samplers =
+        Array.map
+          (fun s -> make_sampler s.pattern (Ccache_util.Prng.split rng))
+          specs
+      in
+      let requests =
+        Array.init length (fun _ ->
+            let u = Ccache_util.Prng.categorical rng ~weights in
+            Page.make ~user:u ~id:(samplers.(u) ()))
+      in
+      Trace.of_pages ~n_users requests)
 
 (** Single-tenant convenience wrapper. *)
 let generate_single ~seed ~length pattern =

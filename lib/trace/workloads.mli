@@ -44,9 +44,16 @@ val tenant : ?weight:float -> pattern -> tenant_spec
 (** @raise Invalid_argument if [weight <= 0] or [weight] is not
     finite. *)
 
+val fingerprint : seed:int -> length:int -> tenant_spec list -> string
+(** Canonical rendering of a generation request (floats via [%h]), the
+    {!Trace_cache} key for {!generate}. *)
+
 val generate : seed:int -> length:int -> tenant_spec list -> Trace.t
 (** Tenant [i]'s pages get user id [i]; each request picks a tenant
-    proportionally to weight, then its sampler picks the page. *)
+    proportionally to weight, then its sampler picks the page.  A pure
+    function of its arguments; when {!Trace_cache.set_dir} has enabled
+    the on-disk cache, repeated generations load the stored [.ctrace]
+    instead of resampling. *)
 
 val generate_single : seed:int -> length:int -> pattern -> Trace.t
 

@@ -1,0 +1,419 @@
+(* Tests for the zero-copy trace substrate: the binary .ctrace format
+   (Trace_binary), dense interning on Trace, external address-trace
+   readers (Trace_extern), the fingerprinted on-disk cache
+   (Trace_cache) and the CLI's exit-2 discipline on malformed input. *)
+
+open Ccache_trace
+module W = Workloads
+module Prng = Ccache_util.Prng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let p u i = Page.make ~user:u ~id:i
+
+let same_trace a b =
+  Trace.requests a = Trace.requests b && Trace.n_users a = Trace.n_users b
+
+let random_trace seed =
+  let rng = Prng.create ~seed in
+  let users = 1 + Prng.int rng 4 in
+  let len = Prng.int rng 120 in
+  let reqs =
+    List.init len (fun _ ->
+        Page.make ~user:(Prng.int rng users) ~id:(Prng.int rng 30))
+  in
+  Trace.of_list ~n_users:users reqs
+
+let with_temp f =
+  let path = Filename.temp_file "ccache_test" ".ctrace" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Dense interning on Trace                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interning_basics () =
+  (* a b a c b a *)
+  let t = Trace.of_list ~n_users:2 [ p 0 0; p 1 0; p 0 0; p 0 1; p 1 0; p 0 0 ] in
+  checki "3 distinct" 3 (Trace.n_pages t);
+  checkb "dense = first-touch ranks" true
+    (Trace.dense t = [| 0; 1; 0; 2; 1; 0 |]);
+  checkb "pages in first-touch order" true
+    (List.init 3 (Trace.page_of_dense t) = [ p 0 0; p 1 0; p 0 1 ]);
+  checkb "dense_of_page hits" true (Trace.dense_of_page t (p 0 1) = Some 2);
+  checkb "dense_of_page misses" true (Trace.dense_of_page t (p 1 9) = None);
+  checkb "distinct_pages agrees" true
+    (Trace.distinct_pages t = [ p 0 0; p 1 0; p 0 1 ])
+
+let interning_property =
+  QCheck.Test.make ~name:"interning is a consistent first-touch remap" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let t = random_trace seed in
+      let dense = Trace.dense t in
+      let n = Trace.length t in
+      let seen = ref 0 in
+      let ok = ref (Array.length dense = n) in
+      for pos = 0 to n - 1 do
+        let d = dense.(pos) in
+        (* rank valid, first occurrences in increasing order, and the
+           remap actually names the requested page *)
+        ok := !ok && d >= 0 && d <= !seen && d < Trace.n_pages t;
+        if d = !seen then incr seen;
+        ok := !ok && Page.equal (Trace.page_of_dense t d) (Trace.request t pos)
+      done;
+      !ok && !seen = Trace.n_pages t)
+
+let test_of_dense_validation () =
+  let reject ~pages ~dense =
+    match Trace.of_dense ~n_users:1 ~pages ~dense with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "rank out of range" true
+    (reject ~pages:[| p 0 0 |] ~dense:[| 0; 1 |]);
+  checkb "rank before first occurrence" true
+    (reject ~pages:[| p 0 0; p 0 1 |] ~dense:[| 1; 0 |]);
+  checkb "page never requested" true
+    (reject ~pages:[| p 0 0; p 0 1 |] ~dense:[| 0; 0 |]);
+  checkb "duplicate dictionary page" true
+    (reject ~pages:[| p 0 0; p 0 0 |] ~dense:[| 0; 1 |]);
+  let t = Trace.of_dense ~n_users:2 ~pages:[| p 0 3; p 1 7 |] ~dense:[| 0; 1; 0 |] in
+  checkb "well-formed accepted" true
+    (Trace.requests t = [| p 0 3; p 1 7; p 0 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* Binary round-trips                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_binary_string_roundtrip () =
+  let t = Trace.of_list ~n_users:2 [ p 0 0; p 1 0; p 0 0; p 0 1 ] in
+  checkb "string roundtrip" true (same_trace t (Trace_binary.of_string (Trace_binary.to_string t)));
+  let empty = Trace.of_list ~n_users:1 [] in
+  checkb "empty roundtrip" true
+    (same_trace empty (Trace_binary.of_string (Trace_binary.to_string empty)))
+
+let test_binary_file_roundtrip () =
+  let t = W.generate ~seed:11 ~length:500 (W.sqlvm_mix ~scale:1) in
+  with_temp (fun path ->
+      Trace_binary.write_file path t;
+      checkb "file roundtrip" true (same_trace t (Trace_binary.read_file path));
+      (* the handle view agrees with the materialised trace *)
+      let h = Trace_binary.open_file path in
+      checki "handle length" (Trace.length t) (Trace_binary.length h);
+      checki "handle users" (Trace.n_users t) (Trace_binary.n_users h);
+      checki "handle pages" (Trace.n_pages t) (Trace_binary.n_pages h);
+      let ok = ref true in
+      for i = 0 to Trace.length t - 1 do
+        ok := !ok && Page.equal (Trace_binary.page_at h i) (Trace.request t i)
+      done;
+      checkb "handle iteration agrees" true !ok)
+
+let binary_roundtrip_property =
+  QCheck.Test.make ~name:"binary roundtrip on random traces" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let t = random_trace seed in
+      let t' = Trace_binary.of_string (Trace_binary.to_string t) in
+      same_trace t t'
+      (* the interning remap survives the trip too *)
+      && Trace.dense t = Trace.dense t'
+      && Trace.n_pages t = Trace.n_pages t')
+
+let text_binary_text_property =
+  QCheck.Test.make ~name:"text -> binary -> text is the identity" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let t = random_trace seed in
+      let text = Trace_io.to_string t in
+      let back =
+        Trace_io.to_string (Trace_binary.of_string (Trace_binary.to_string (Trace_io.of_string text)))
+      in
+      String.equal text back)
+
+let test_read_any_dispatch () =
+  let t = random_trace 77 in
+  checkb "binary sniffed" true
+    (same_trace t (Trace_io.of_string_any (Trace_binary.to_string t)));
+  checkb "text sniffed" true
+    (same_trace t (Trace_io.of_string_any (Trace_io.to_string t)))
+
+(* ------------------------------------------------------------------ *)
+(* Malformed binary input                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fails_format s =
+  match Trace_binary.of_string s with
+  | exception Trace_binary.Format_error _ -> true
+  | _ -> false
+
+let set_byte s off v =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr v);
+  Bytes.to_string b
+
+let test_binary_rejects_garbage () =
+  let good = Trace_binary.to_string (random_trace 3) in
+  checkb "empty input" true (fails_format "");
+  checkb "truncated header" true (fails_format (String.sub good 0 20));
+  checkb "bad magic" true (fails_format (set_byte good 0 (Char.code 'X')));
+  checkb "wrong version" true (fails_format (set_byte good 8 99));
+  checkb "bad endian tag" true (fails_format (set_byte good 12 0xFF));
+  checkb "non-zero reserved" true (fails_format (set_byte good 32 1));
+  checkb "truncated body" true
+    (fails_format (String.sub good 0 (String.length good - 1)));
+  checkb "trailing junk" true (fails_format (good ^ "x"));
+  (* corrupt a dense id so the first-touch invariant breaks: requests
+     exist iff length > 0, so pick a trace guaranteed non-empty *)
+  let t = Trace.of_list ~n_users:1 [ p 0 0; p 0 1 ] in
+  let s = Trace_binary.to_string t in
+  checkb "out-of-range dense id" true
+    (fails_format (set_byte s (String.length s - 4) 0x7F))
+
+let test_binary_rejects_garbage_files () =
+  (* same failures through the mmap path, and Format_error (not a
+     crash or Sys_error) for each *)
+  let good = Trace_binary.to_string (random_trace 3) in
+  List.iter
+    (fun bad ->
+      with_temp (fun path ->
+          Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bad);
+          checkb "file rejected" true
+            (match Trace_binary.read_file path with
+            | exception Trace_binary.Format_error _ -> true
+            | _ -> false)))
+    [
+      "CCTRACE0 but short";
+      set_byte good 8 99;
+      String.sub good 0 (String.length good - 1);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* External formats                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_extern_rw () =
+  let t =
+    Trace_extern.of_string_rw
+      "# comment\nR 0x1000\nW 0x2000\nR 0x1000\nr 4096\nW 0xdeadbeef000\n"
+  in
+  checki "users" 1 (Trace.n_users t);
+  checki "requests" 5 (Trace.length t);
+  (* 0x1000>>12=1 -> dense 0; 0x2000>>12=2 -> dense 1; 4096>>12 -> dense 0;
+     0xdeadbeef000>>12 -> dense 2: interning renames to first-touch ranks *)
+  checkb "interned ids" true
+    (Trace.requests t = [| p 0 0; p 0 1; p 0 0; p 0 0; p 0 2 |])
+
+let test_extern_rw_page_shift () =
+  let t = Trace_extern.of_string_rw ~page_shift:0 "R 0x10\nR 0x11\nR 0x10\n" in
+  checki "distinct at shift 0" 2 (Trace.n_pages t);
+  let t' = Trace_extern.of_string_rw ~page_shift:4 "R 0x10\nR 0x11\nR 0x10\n" in
+  checki "merged at shift 4" 1 (Trace.n_pages t')
+
+let test_extern_rw_errors () =
+  let line_of s =
+    match Trace_extern.of_string_rw s with
+    | exception Trace_io.Parse_error { line; _ } -> line
+    | _ -> -1
+  in
+  checki "garbage line number" 2 (line_of "R 0x1000\nnot a line\n");
+  checki "bad address line number" 1 (line_of "R zzz\n");
+  checki "bad op line number" 3 (line_of "R 0x1\nW 0x2\nX 0x3\n")
+
+let test_extern_lackey () =
+  let t =
+    Trace_extern.of_string_lackey
+      "==123== banner noise\nI  0400d7d4,8\n L 04f2b7e0,8\n S 04f2b7e8,4\n M 04f2b7f0,8\n"
+  in
+  checki "four refs" 4 (Trace.length t);
+  (* instr page 0x400, data pages 0x4f2b: two distinct after shift 12 *)
+  checki "two distinct pages" 2 (Trace.n_pages t);
+  checkb "lackey error carries line" true
+    (match Trace_extern.of_string_lackey "I nonsense\n" with
+    | exception Trace_io.Parse_error { line = 1; _ } -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Trace cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "ccache_cache" "" in
+  Sys.remove dir;
+  Trace_cache.set_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Trace_cache.set_dir None;
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_cache_hit_and_fingerprint () =
+  with_cache_dir (fun dir ->
+      let calls = ref 0 in
+      let gen () =
+        incr calls;
+        W.generate ~seed:21 ~length:200 (W.symmetric_zipf ~tenants:2 ~pages_per_tenant:16 ~skew:0.5)
+      in
+      let a = Trace_cache.memoize ~fingerprint:"fp-A" gen in
+      let b = Trace_cache.memoize ~fingerprint:"fp-A" gen in
+      checki "generator ran once" 1 !calls;
+      checkb "hit is byte-identical" true (same_trace a b);
+      ignore (Trace_cache.memoize ~fingerprint:"fp-B" gen);
+      checki "new fingerprint regenerates" 2 !calls;
+      (* a stale sidecar (hash collision stand-in) must degrade to a miss *)
+      let key = Trace_cache.key_of_fingerprint "fp-A" in
+      Out_channel.with_open_bin (Filename.concat dir (key ^ ".fp")) (fun oc ->
+          Out_channel.output_string oc "some other fingerprint");
+      ignore (Trace_cache.memoize ~fingerprint:"fp-A" gen);
+      checki "collision regenerates" 3 !calls;
+      (* a corrupt .ctrace must also degrade to a miss, not an error *)
+      Out_channel.with_open_bin (Filename.concat dir (key ^ ".ctrace")) (fun oc ->
+          Out_channel.output_string oc "CCTRACE0 corrupted");
+      let c = Trace_cache.memoize ~fingerprint:"fp-A" gen in
+      checkb "corrupt entry regenerated" true (same_trace a c))
+
+let test_cache_generate_equivalence () =
+  (* the real integration point: Workloads.generate through the cache
+     produces the same trace as without it *)
+  let specs = W.sqlvm_mix ~scale:1 in
+  let plain = W.generate ~seed:5 ~length:400 specs in
+  with_cache_dir (fun _dir ->
+      let cold = W.generate ~seed:5 ~length:400 specs in
+      let warm = W.generate ~seed:5 ~length:400 specs in
+      checkb "cold = plain" true (same_trace plain cold);
+      checkb "warm = plain" true (same_trace plain warm))
+
+let test_cache_disabled_passthrough () =
+  Trace_cache.set_dir None;
+  let calls = ref 0 in
+  let gen () =
+    incr calls;
+    Trace.of_list ~n_users:1 [ p 0 0 ]
+  in
+  ignore (Trace_cache.memoize ~fingerprint:"x" gen);
+  ignore (Trace_cache.memoize ~fingerprint:"x" gen);
+  checki "no caching when disabled" 2 !calls
+
+let test_workload_fingerprint_sensitivity () =
+  let specs = W.sqlvm_mix ~scale:1 in
+  let fp = W.fingerprint ~seed:1 ~length:100 specs in
+  checkb "seed changes fingerprint" true
+    (fp <> W.fingerprint ~seed:2 ~length:100 specs);
+  checkb "length changes fingerprint" true
+    (fp <> W.fingerprint ~seed:1 ~length:101 specs);
+  checkb "spec changes fingerprint" true
+    (fp <> W.fingerprint ~seed:1 ~length:100 (W.sqlvm_mix ~scale:2));
+  checks "deterministic" fp (W.fingerprint ~seed:1 ~length:100 specs)
+
+(* ------------------------------------------------------------------ *)
+(* Index equivalence on file-backed traces                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_index_on_loaded_trace () =
+  (* Index answers must not depend on whether the trace was generated
+     or loaded from the binary format *)
+  let t = W.generate ~seed:31 ~length:600 (W.sqlvm_mix ~scale:1) in
+  let t' = Trace_binary.of_string (Trace_binary.to_string t) in
+  let i = Trace.Index.build t and i' = Trace.Index.build t' in
+  let ok = ref true in
+  for pos = 0 to Trace.length t - 1 do
+    ok :=
+      !ok
+      && Trace.Index.interval_index i pos = Trace.Index.interval_index i' pos
+      && Trace.Index.next_use i pos = Trace.Index.next_use i' pos
+      && Trace.Index.prev_use i pos = Trace.Index.prev_use i' pos
+      && Trace.Index.distinct_upto i pos = Trace.Index.distinct_upto i' pos
+  done;
+  List.iter
+    (fun page ->
+      ok :=
+        !ok
+        && Trace.Index.total_requests i page = Trace.Index.total_requests i' page
+        && Trace.Index.first_use i page = Trace.Index.first_use i' page)
+    (Trace.distinct_pages t);
+  checkb "index agrees" true !ok;
+  checki "absent page total 0" 0 (Trace.Index.total_requests i (p 0 999_999))
+
+(* ------------------------------------------------------------------ *)
+(* CLI exit codes on malformed input                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cli = Filename.concat ".." (Filename.concat "bin" "ccache_cli.exe")
+
+let cli_exit args =
+  Sys.command (Filename.quote cli ^ " " ^ args ^ " > /dev/null 2> /dev/null")
+
+let test_cli_exit_2 () =
+  let good = Trace_binary.to_string (random_trace 3) in
+  with_temp (fun path ->
+      (* corrupt header: wrong version byte *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (set_byte good 8 99));
+      checki "run on wrong-version binary" 2
+        (cli_exit ("run --policy lru --trace " ^ Filename.quote path));
+      checki "trace stat on wrong-version binary" 2
+        (cli_exit ("trace stat " ^ Filename.quote path));
+      (* truncated body *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub good 0 (String.length good - 2)));
+      checki "run on truncated binary" 2
+        (cli_exit ("run --policy lru --trace " ^ Filename.quote path));
+      (* text garbage *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "not a trace\n");
+      checki "run on text garbage" 2
+        (cli_exit ("run --policy lru --trace " ^ Filename.quote path));
+      checki "convert on rw garbage" 2
+        (cli_exit ("trace convert --format rw " ^ Filename.quote path)))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "ccache_trace_binary"
+    [
+      ( "interning",
+        [
+          Alcotest.test_case "basics" `Quick test_interning_basics;
+          Alcotest.test_case "of_dense validation" `Quick test_of_dense_validation;
+        ]
+        @ qsuite [ interning_property ] );
+      ( "binary",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_binary_string_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_binary_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_binary_rejects_garbage;
+          Alcotest.test_case "rejects garbage files" `Quick
+            test_binary_rejects_garbage_files;
+          Alcotest.test_case "read_any dispatch" `Quick test_read_any_dispatch;
+        ]
+        @ qsuite [ binary_roundtrip_property; text_binary_text_property ] );
+      ( "extern",
+        [
+          Alcotest.test_case "rw format" `Quick test_extern_rw;
+          Alcotest.test_case "rw page shift" `Quick test_extern_rw_page_shift;
+          Alcotest.test_case "rw errors" `Quick test_extern_rw_errors;
+          Alcotest.test_case "lackey format" `Quick test_extern_lackey;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit, collision, corruption" `Quick
+            test_cache_hit_and_fingerprint;
+          Alcotest.test_case "generate equivalence" `Quick
+            test_cache_generate_equivalence;
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_cache_disabled_passthrough;
+          Alcotest.test_case "fingerprint sensitivity" `Quick
+            test_workload_fingerprint_sensitivity;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "index on loaded trace" `Quick test_index_on_loaded_trace;
+          Alcotest.test_case "cli exit 2" `Quick test_cli_exit_2;
+        ] );
+    ]

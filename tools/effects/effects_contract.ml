@@ -45,6 +45,16 @@ let required : (string * contract list) list =
     ("Ccache_util.Int_tbl.mem", [ No_alloc; Deterministic ]);
     ("Ccache_trace.Page.pack", [ Pure; No_alloc ]);
     ("Ccache_trace.Page.unpack", [ Pure; No_alloc ]);
+    (* the zero-copy trace substrate: per-request iteration and the
+       dense (flat-array) index lookups behind every policy decision *)
+    ("Ccache_trace.Trace.request", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace.Index.interval_index", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace.Index.next_use", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace.Index.prev_use", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace.Index.distinct_upto", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace.Index.total_requests", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace.Index.is_last_request", [ No_alloc; Deterministic ]);
+    ("Ccache_trace.Trace_binary.dense_at", [ Deterministic ]);
   ]
 
 (** Nodes allowed to seed [time] directly. *)
